@@ -1,0 +1,37 @@
+"""Shared helpers for the per-figure benchmark modules.
+
+Each benchmark runs one paper artifact once (``rounds=1`` — a run is a
+full discrete-event simulation, deterministic by construction), prints
+the regenerated figure tables plus the paper-vs-measured comparison,
+and asserts the paper's qualitative shape.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only -s
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import compare, get
+from repro.metrics import breakdown_table, comparison_table, performance_table
+from repro.metrics.results import BenchmarkResult
+
+
+def run_experiment(benchmark, experiment_id: str, scale=None):
+    """Benchmark one experiment and print its report."""
+    experiment = get(experiment_id)
+    chosen = experiment.default_scale if scale is None else scale
+    result = benchmark.pedantic(
+        experiment.run, kwargs={"scale": chosen}, rounds=1, iterations=1)
+    print()
+    if isinstance(result, BenchmarkResult):
+        print(performance_table(result))
+        print()
+        print(breakdown_table(result))
+    print()
+    print(comparison_table(experiment_id, compare(experiment, result)))
+    if experiment.notes:
+        print(f"note: {experiment.notes}")
+    return result

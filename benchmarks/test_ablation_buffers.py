@@ -1,0 +1,24 @@
+"""Ablation: on-chip data-buffer count.
+
+Design claim probed: "because of the streaming nature of active switch
+applications, only a limited number of data buffers are needed" — the
+DBA recycles buffers as fast as the (serial) handler drains them, so an
+8-input leaf reduction does not slow down even with the minimum of two
+buffers.  The 16 of the paper's design are headroom for multi-stream
+handlers plus non-active throughput.
+"""
+
+from repro.experiments.ablations import ablate_buffer_count
+
+
+def test_ablation_buffer_count(benchmark):
+    rows = benchmark.pedantic(ablate_buffer_count, rounds=1, iterations=1)
+    print()
+    for row in rows:
+        print(f"  {row['buffers']:>3} buffers: {row['latency_us']:8.2f} us")
+    by_count = {row["buffers"]: row["latency_us"] for row in rows}
+    # More buffers never hurt...
+    assert by_count[16] <= by_count[2] * 1.01
+    # ...and the streaming model keeps even 2 buffers within 25 % of 16
+    # (prompt release is what makes the small buffer pool viable).
+    assert by_count[2] <= by_count[16] * 1.25

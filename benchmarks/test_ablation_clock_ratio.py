@@ -1,0 +1,26 @@
+"""Ablation: embedded-CPU clock vs the one-CPU MD5 failure case.
+
+Design claim probed: MD5 on a single switch CPU loses *because* the
+embedded core runs at a quarter of the host's clock — the paper's
+argument for why handlers "must not be compute-intensive".  Sweeping
+the switch clock shows the crossover: at parity (2 GHz) the offload
+wins even for whole-application compute.
+"""
+
+from repro.experiments.ablations import ablate_clock_ratio
+
+
+def test_ablation_clock_ratio(benchmark):
+    rows = benchmark.pedantic(ablate_clock_ratio, rounds=1, iterations=1)
+    print()
+    for row in rows:
+        print(f"  {row['freq_mhz']:6.0f} MHz: "
+              f"active+pref speedup {row['speedup']:.2f}")
+    by_freq = {row["freq_mhz"]: row["speedup"] for row in rows}
+    # The paper's 500 MHz point loses badly.
+    assert by_freq[500.0] < 0.6
+    # Speedup is monotone in clock rate.
+    speedups = [row["speedup"] for row in rows]
+    assert speedups == sorted(speedups)
+    # At host parity the offload finally wins (no host cache stalls).
+    assert by_freq[2000.0] > 1.0

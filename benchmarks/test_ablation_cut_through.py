@@ -1,0 +1,21 @@
+"""Ablation: valid-bit streaming (cut-through handlers) on/off.
+
+Design claim probed: "the switch processor can start processing without
+waiting for the data buffer copy to complete" — the cache-line valid
+bits let a Grep handler overlap its search with the block's arrival.
+Turning the overlap off (store-and-forward handlers) must cost real
+time.
+"""
+
+from repro.experiments.ablations import ablate_cut_through
+
+
+def test_ablation_cut_through(benchmark):
+    times = benchmark.pedantic(ablate_cut_through, rounds=1, iterations=1)
+    print()
+    print(f"cut-through:        {times['cut-through'] / 1e9:8.2f} ms")
+    print(f"store-and-forward:  {times['store-and-forward'] / 1e9:8.2f} ms")
+    print(f"overlap benefit:    {times['overlap benefit']:.3f}x")
+    # The overlap must help, and substantially for a streaming handler.
+    assert times["overlap benefit"] > 1.10
+    assert times["cut-through"] < times["store-and-forward"]

@@ -1,0 +1,23 @@
+"""Ablation: non-active traffic under active load.
+
+Design claim probed: design goal #1 — "the presence of active switches
+should not degrade the performance of (the likely more common)
+non-active messages".  The control path (dispatch, switch CPU) is
+separate from the forwarding datapath, so probe messages between two
+endpoints see the same latency whether or not a third endpoint is
+saturating the switch CPU with handler work.
+"""
+
+import pytest
+
+from repro.experiments.ablations import ablate_noninterference
+
+
+def test_ablation_noninterference(benchmark):
+    result = benchmark.pedantic(ablate_noninterference, rounds=1,
+                                iterations=1)
+    print()
+    print(f"  forwarding latency, quiet switch:  {result['quiet_us']:.3f} us")
+    print(f"  forwarding latency, loaded switch: {result['loaded_us']:.3f} us")
+    print(f"  slowdown: {result['slowdown']:.4f}x")
+    assert result["slowdown"] == pytest.approx(1.0, abs=0.02)

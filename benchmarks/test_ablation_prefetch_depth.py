@@ -1,0 +1,27 @@
+"""Ablation: outstanding I/O request count.
+
+Design claim probed: the paper evaluates exactly two configurations of
+the I/O software — synchronous and "two outstanding I/O requests" —
+implying depth 2 is where the benefit saturates.  Sweeping 1-4 shows
+one read-ahead request suffices to keep the disk streaming; more
+outstanding requests buy nothing for a sequential scan.
+"""
+
+from repro.experiments.ablations import ablate_prefetch_depth
+
+
+def test_ablation_prefetch_depth(benchmark):
+    rows = benchmark.pedantic(ablate_prefetch_depth, rounds=1, iterations=1)
+    print()
+    for row in rows:
+        print(f"  depth {row['depth']}: {row['exec_ms']:8.2f} ms, "
+              f"disk busy {row['disk_utilization']:.1%}")
+    by_depth = {row["depth"]: row["exec_ms"] for row in rows}
+    # Depth 2 clearly beats synchronous...
+    assert by_depth[2] < by_depth[1] * 0.95
+    # ...and deeper queues add nothing for a sequential stream.
+    assert abs(by_depth[4] - by_depth[2]) / by_depth[2] < 0.02
+    # Because depth 2 already saturates the spindles.
+    utils = {row["depth"]: row["disk_utilization"] for row in rows}
+    assert utils[1] < 0.95
+    assert utils[2] > 0.95

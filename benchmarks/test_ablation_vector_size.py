@@ -1,0 +1,27 @@
+"""Ablation: reduction vector size (extension of Figures 15/16).
+
+Design claim probed: the paper's lower-bound argument — and its up-to-
+5.9x win — is stated "for small vectors", where per-round software
+overhead dominates.  Sweeping the vector size shows the advantage decay
+as bandwidth terms take over, and multi-MTU vectors exercise the ATB's
+conflict backpressure (an 8 KB vector spans the ATB's entire 16-region
+reach).
+"""
+
+from repro.apps.reduction import vector_size_sweep
+
+
+def test_ablation_vector_size(benchmark):
+    rows = benchmark.pedantic(vector_size_sweep, rounds=1, iterations=1)
+    print()
+    for row in rows:
+        print(f"  {row['vector_bytes']:6d} B: "
+              f"normal {row['normal_us']:8.1f} us, "
+              f"active {row['active_us']:8.1f} us, "
+              f"speedup {row['speedup']:.2f}x")
+    speedups = [row["speedup"] for row in rows]
+    # Monotone decay with vector size...
+    assert speedups == sorted(speedups, reverse=True)
+    # ...from a strong small-vector win to near-parity at 8 KB.
+    assert speedups[0] > 4.0
+    assert speedups[-1] < 1.5

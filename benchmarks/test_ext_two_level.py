@@ -1,0 +1,26 @@
+"""Extension: the two-level active I/O system (Related Work, quantified).
+
+Not a paper figure — it quantifies the paper's Related-Work argument:
+active disks minimise *fabric* traffic (only survivors enter the SAN),
+active switches minimise *host* traffic while staying device-agnostic,
+and the two compose ("a two-level active I/O system") splitting the
+filtering work.
+"""
+
+from conftest import run_experiment
+
+
+def test_ext_two_level(benchmark):
+    rows = run_experiment(benchmark, "ext_two_level")
+    print()
+    header = f"{'placement':>10} {'exec (ms)':>10} {'host in':>10} {'fabric':>10}"
+    print(header)
+    for row in rows:
+        print(f"{row['placement']:>10} {row['exec_ms']:>10.2f} "
+              f"{row['host_in_bytes']:>10,} {row['fabric_bytes']:>10,}")
+    by = {row["placement"]: row for row in rows}
+    # Everyone is disk-bound; the metrics that differ are byte placement.
+    times = [row["exec_ms"] for row in rows]
+    assert max(times) / min(times) < 1.10
+    assert by["device"]["fabric_bytes"] == by["host"]["fabric_bytes"] // 4
+    assert by["switch"]["host_in_bytes"] == by["host"]["host_in_bytes"] // 4

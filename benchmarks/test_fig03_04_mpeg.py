@@ -1,0 +1,24 @@
+"""Figures 3/4: MPEG-filter performance and execution-time breakdown.
+
+Paper shape: normal+pref ~1.13x over normal; active cases ~1.23/1.36x
+over the corresponding normals; host traffic cut by the P-frame share;
+host and switch both busy in the active cases (a balanced pipeline).
+"""
+
+from conftest import run_experiment
+
+
+def test_fig03_04_mpeg(benchmark):
+    result = run_experiment(benchmark, "fig03_04_mpeg")
+
+    # Normal+pref beats normal by overlapping I/O (paper: 1.13x).
+    assert 1.05 < result.speedup("normal", "normal+pref") < 1.25
+    # Active wins in both modes (paper: 1.23x and 1.36x).
+    assert result.active_speedup > 1.15
+    assert 1.2 < result.active_pref_speedup < 1.5
+    # Only I-frame bytes reach the host (~36.5 % of the stream).
+    assert 0.3 < result.normalized_traffic("active") < 0.45
+    # Balanced pipeline: both processors busy in active cases.
+    active = result.case("active+pref")
+    assert active.host.utilization > 0.8
+    assert active.switch_cpus[0].busy_frac > 0.4

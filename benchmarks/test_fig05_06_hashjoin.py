@@ -1,0 +1,25 @@
+"""Figures 5/6: HashJoin with bit-vector filtering.
+
+Paper shape: active ~1.10x over normal; the two prefetch cases tie
+(both disk-bound); the switch filter cuts the host's cache-stall share
+(27.6 % -> 16.1 % of execution for the +pref cases); host traffic drops
+to roughly the bit-vector pass fraction.
+"""
+
+from conftest import run_experiment
+
+
+def test_fig05_06_hashjoin(benchmark):
+    result = run_experiment(benchmark, "fig05_06_hashjoin")
+
+    # Active beats normal without prefetch (paper: 1.10x).
+    assert 1.0 < result.active_speedup < 1.45
+    # The prefetch cases tie (paper: "performance is the same").
+    assert 0.95 < result.active_pref_speedup < 1.08
+    # Cache-stall share drops on the host in the active cases.
+    npref = result.case("normal+pref").host.stall_frac
+    apref = result.case("active+pref").host.stall_frac
+    assert apref < npref * 0.75
+    assert npref > 0.10
+    # Filtered S + pass-through R: traffic well below normal.
+    assert result.normalized_traffic("active") < 0.6

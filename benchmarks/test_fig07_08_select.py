@@ -1,0 +1,26 @@
+"""Figures 7/8: database Select (sequential range selection).
+
+Paper shape: the benchmark is I/O bound — normal is worst, the other
+three nearly identical; average normal host utilization ~21x the active
+one; active I/O traffic is 25 % of normal (the selectivity).
+"""
+
+from conftest import run_experiment
+
+
+def test_fig07_08_select(benchmark):
+    result = run_experiment(benchmark, "fig07_08_select")
+
+    # Normal is the only slow case; the rest are within a few percent.
+    assert result.normalized_time("normal+pref") < 0.95
+    times = [result.case(label).exec_ps
+             for label in ("normal+pref", "active", "active+pref")]
+    assert max(times) / min(times) < 1.10
+    # Utilization ratio (paper: 21x).
+    normal_avg = (result.utilization("normal")
+                  + result.utilization("normal+pref")) / 2
+    active_avg = (result.utilization("active")
+                  + result.utilization("active+pref")) / 2
+    assert 10 < normal_avg / active_avg < 40
+    # Traffic equals the selectivity (paper: 25 %).
+    assert 0.2 < result.normalized_traffic("active") < 0.3

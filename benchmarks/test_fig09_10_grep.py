@@ -1,0 +1,25 @@
+"""Figures 9/10: Grep.
+
+Paper shape: active ~1.14x over normal (the handler starts searching as
+soon as data enters the switch); normal+pref beats active; active+pref
+is best; active host utilization ~0; nearly all data filtered (only 16
+matching lines return).
+"""
+
+from conftest import run_experiment
+
+
+def test_fig09_10_grep(benchmark):
+    result = run_experiment(benchmark, "fig09_10_grep")
+
+    # Active beats normal without prefetch (paper: 1.14x).
+    assert 1.05 < result.active_speedup < 1.35
+    # Prefetching lets the normal case edge out synchronous active.
+    assert (result.case("normal+pref").exec_ps
+            <= result.case("active").exec_ps)
+    # Active+pref is the overall best case.
+    best = min(case.exec_ps for case in result.cases.values())
+    assert result.case("active+pref").exec_ps == best
+    # Host nearly idle; nearly everything filtered at the switch.
+    assert result.utilization("active") < 0.02
+    assert result.normalized_traffic("active") < 0.01

@@ -1,0 +1,23 @@
+"""Figures 11/12: Tar (switch-initiated disk reads, host bypassed).
+
+Paper shape: normal worst (synchronous I/O); the other three cases tie;
+active host utilization ~0 — not from offloading computation but from
+eliminating the per-request OS/interrupt overhead; host traffic is just
+the 512-byte headers.
+"""
+
+from conftest import run_experiment
+
+
+def test_fig11_12_tar(benchmark):
+    result = run_experiment(benchmark, "fig11_12_tar")
+
+    # Normal is worst; the rest tie within ~10 %.
+    assert result.normalized_time("normal+pref") < 0.9
+    times = [result.case(label).exec_ps
+             for label in ("normal+pref", "active", "active+pref")]
+    assert max(times) / min(times) < 1.12
+    # Host bypassed: traffic is headers only, utilization ~0.
+    assert result.normalized_traffic("active") < 0.01
+    assert result.utilization("active") < 0.01
+    assert result.case("active").host_bytes_in == 0

@@ -1,0 +1,24 @@
+"""Figures 13/14: parallel sort distribution phase.
+
+Paper shape: like Grep (normal worst, others close, active host ~idle);
+the headline: per-node traffic in the active cases is 40 % of normal at
+p = 4 nodes — the p/(3p-2) formula, limiting to 1/3.
+"""
+
+import pytest
+
+from conftest import run_experiment
+
+
+def test_fig13_14_sort(benchmark):
+    result = run_experiment(benchmark, "fig13_14_sort")
+
+    # The paper's formula at p = 4.
+    p = 4
+    assert result.normalized_traffic("active") == pytest.approx(
+        p / (3 * p - 2), abs=0.02)
+    # Normal is worst; active host nearly idle.
+    assert result.normalized_time("normal+pref") < 0.95
+    assert result.utilization("active") < 0.02
+    # Prefetch cases tie (both disk-bound).
+    assert 0.9 < result.active_pref_speedup < 1.1

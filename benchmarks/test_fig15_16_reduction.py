@@ -1,0 +1,37 @@
+"""Figures 15/16: collective reductions, latency vs node count.
+
+Paper shape: the active switch tree beats the MST lower bound with a
+speedup that *grows* with node count — up to 5.61 (Reduce-to-one) and
+5.92 (Distributed Reduce) at 128 nodes — because its scaling factor is
+log_{N/2}(p) instead of log2(p) and host software overhead is paid once
+instead of per round.
+"""
+
+from conftest import run_experiment
+
+
+def _print_series(rows):
+    print()
+    print(f"{'nodes':>6} {'normal (us)':>12} {'active (us)':>12} {'speedup':>8}")
+    for row in rows:
+        print(f"{row['nodes']:>6} {row['normal_us']:>12.1f} "
+              f"{row['active_us']:>12.1f} {row['speedup']:>8.2f}")
+
+
+def test_fig15_reduce_to_one(benchmark):
+    rows = run_experiment(benchmark, "fig15_reduce_to_one")
+    _print_series(rows)
+    speedups = {row["nodes"]: row["speedup"] for row in rows}
+    # Monotone growth with node count, up to ~5x at 128 (paper: 5.61).
+    assert speedups[128] > 4.0
+    assert speedups[128] > speedups[8] > speedups[2] * 0.95
+    # Small systems see little benefit.
+    assert speedups[2] < 1.5
+
+
+def test_fig16_distributed_reduce(benchmark):
+    rows = run_experiment(benchmark, "fig16_distributed_reduce")
+    _print_series(rows)
+    speedups = {row["nodes"]: row["speedup"] for row in rows}
+    assert speedups[128] > 4.0
+    assert speedups[128] > speedups[8]

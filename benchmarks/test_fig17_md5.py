@@ -1,0 +1,31 @@
+"""Figure 17: MD5 with multiple switch processors.
+
+Paper shape: one switch CPU makes MD5 *slower* than normal (the
+partition fails — the switch does all the compute at a quarter of the
+host clock); with 4 CPUs and the K-chain algorithm the active system
+recovers to 1.50x (no prefetch) and 1.18x (prefetch).
+"""
+
+from conftest import run_experiment
+from repro.metrics import performance_table
+
+
+def test_fig17_md5_multicpu(benchmark):
+    results = run_experiment(benchmark, "fig17_md5_multicpu")
+    for k, result in results.items():
+        print()
+        print(f"--- {k} switch CPU(s) ---")
+        print(performance_table(result))
+
+    # One CPU: a clear slowdown (the paper's failure case).
+    assert results[1].active_speedup < 0.7
+    assert results[1].active_pref_speedup < 0.7
+    # Two CPUs: roughly break-even without prefetch.
+    assert 0.7 < results[2].active_speedup < 1.3
+    # Four CPUs: a real speedup in both modes (paper: 1.50 / 1.18).
+    assert results[4].active_speedup > 1.3
+    assert results[4].active_pref_speedup > 1.05
+    # More CPUs never hurt.
+    assert (results[4].case("active").exec_ps
+            <= results[2].case("active").exec_ps
+            <= results[1].case("active").exec_ps)

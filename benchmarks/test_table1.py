@@ -1,0 +1,13 @@
+"""Table 1: applications and problem sizes."""
+
+from conftest import run_experiment
+
+
+def test_table1(benchmark):
+    rows = run_experiment(benchmark, "table1")
+    print()
+    width = max(len(name) for name, _ in rows)
+    for name, size in rows:
+        print(f"  {name:<{width}}  {size}")
+    assert len(rows) == 8
+    assert dict(rows)["Select"] == 128 * 1024 * 1024

@@ -1,0 +1,16 @@
+"""Table 2: collective reduction semantics (functional verification).
+
+Distributed Reduce leaves slice i of the combined vector on node i;
+Reduce-to-one leaves the whole vector on node 0.  Both are verified
+numerically against the oracle inside the experiment.
+"""
+
+from conftest import run_experiment
+
+
+def test_table2(benchmark):
+    results = run_experiment(benchmark, "table2")
+    assert set(results) == {"reduce-to-one", "distributed"}
+    for result in results.values():
+        assert result.active
+        assert result.latency_ps > 0

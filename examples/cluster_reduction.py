@@ -1,0 +1,34 @@
+"""Collective reduction on a tree of active switches.
+
+Beats the MST software lower bound ceil(log2 p)*(alpha+lambda): every
+compute node fires its vector at its leaf switch as an active message;
+leaf handlers combine eight vectors each and forward one partial up the
+tree.  This is fully packet-level — real dispatch, data buffers, ATB,
+send unit — and the arithmetic is real, checked against an oracle.
+
+Run:  python examples/cluster_reduction.py [max_nodes]
+"""
+
+import sys
+
+from repro.apps import DISTRIBUTED, REDUCE_TO_ONE, reduction_sweep
+
+
+def main(max_nodes: int = 128):
+    counts = [p for p in (2, 4, 8, 16, 32, 64, 128) if p <= max_nodes]
+    for mode, paper_peak in ((REDUCE_TO_ONE, 5.61), (DISTRIBUTED, 5.92)):
+        print(f"=== {mode} (paper peak speedup: {paper_peak}) ===")
+        print(f"{'nodes':>6} {'normal (us)':>12} {'active (us)':>12} "
+              f"{'speedup':>8}")
+        rows = reduction_sweep(mode, node_counts=counts)
+        for row in rows:
+            print(f"{row['nodes']:>6} {row['normal_us']:>12.1f} "
+                  f"{row['active_us']:>12.1f} {row['speedup']:>8.2f}")
+        print()
+    print("Active latency stays nearly flat (one switch-tree traversal)\n"
+          "while the MST baseline pays host software overhead on every\n"
+          "one of its ceil(log2 p) rounds.")
+
+
+if __name__ == "__main__":
+    main(int(sys.argv[1]) if len(sys.argv) > 1 else 128)

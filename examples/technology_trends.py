@@ -1,0 +1,49 @@
+"""Does the active switch still win as technology scales?
+
+Sweeps the cluster presets — the paper's 2003 testbed, a plausible 2006
+refresh, and single-technology jumps — and reruns Grep under each,
+showing where the streaming offload keeps its edge and where faster
+storage outruns the 500 MHz handler.
+
+Run:  python examples/technology_trends.py [scale]
+"""
+
+import sys
+from dataclasses import replace
+
+from repro.apps import GrepApp, run_four_cases
+from repro.cluster.presets import PRESETS, get_preset
+
+
+def run_under_preset(name: str, scale: float):
+    def make():
+        app = GrepApp(scale=scale)
+        base = get_preset(name)
+        original = app.cluster_config
+
+        def patched(base=base, original=original):
+            mine = original()
+            return replace(base, num_switch_cpus=mine.num_switch_cpus)
+
+        app.cluster_config = patched
+        return app
+
+    return run_four_cases(make)
+
+
+def main(scale: float = 0.5):
+    print(f"{'preset':>16}  {'a vs n':>7}  {'a+p vs n+p':>10}  "
+          f"{'host util (a+p)':>15}")
+    for name in ("paper_2003", "balanced_2006", "fast_fabric",
+                 "fast_storage", "fast_switch_cpu"):
+        result = run_under_preset(name, scale)
+        print(f"{name:>16}  {result.active_speedup:7.2f}  "
+              f"{result.active_pref_speedup:10.2f}  "
+              f"{result.utilization('active+pref'):15.1%}")
+    print("\nReading: the offload holds through fabric and CPU scaling,\n"
+          "but NVMe-class storage (fast_storage) outruns the 500 MHz\n"
+          "handler — matching the ablate_storage_scaling crossover.")
+
+
+if __name__ == "__main__":
+    main(float(sys.argv[1]) if len(sys.argv) > 1 else 0.5)

@@ -1,0 +1,57 @@
+"""repro — reproduction of "Active I/O Switches in System Area Networks"
+(Hao & Heinrich, HPCA 2003).
+
+A discrete-event simulation of SAN clusters built around *active
+switches*: conventional cut-through switches augmented with embedded
+processors, on-chip data buffers with valid-bit streaming, an address
+translation buffer, and a message-driven handler dispatch unit.
+
+Layers (each usable on its own):
+
+* :mod:`repro.sim` — generator-based discrete-event kernel;
+* :mod:`repro.mem`, :mod:`repro.cpu` — caches/TLBs/RDRAM and the host
+  and switch processor models;
+* :mod:`repro.net`, :mod:`repro.switch`, :mod:`repro.io` — the SAN
+  fabric, the (active) switch, and the storage subsystem;
+* :mod:`repro.cluster` — system assembly and the bulk I/O pipeline;
+* :mod:`repro.apps` — the paper's nine benchmarks;
+* :mod:`repro.experiments` — every table/figure, runnable
+  (``python -m repro.experiments``).
+
+Quickstart::
+
+    from repro import ClusterConfig, System
+    from repro.apps import GrepApp, run_four_cases
+    from repro.metrics import performance_table
+
+    result = run_four_cases(lambda: GrepApp(scale=0.25))
+    print(performance_table(result))
+"""
+
+from .cluster import ClusterConfig, ReadStream, System, four_cases
+from .metrics import (
+    BenchmarkResult,
+    CaseResult,
+    breakdown_table,
+    performance_table,
+)
+from .sim import Environment
+from .switch import ActiveSwitch, ActiveSwitchConfig, BaseSwitch
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ClusterConfig",
+    "ReadStream",
+    "System",
+    "four_cases",
+    "BenchmarkResult",
+    "CaseResult",
+    "breakdown_table",
+    "performance_table",
+    "Environment",
+    "ActiveSwitch",
+    "ActiveSwitchConfig",
+    "BaseSwitch",
+    "__version__",
+]

@@ -1,0 +1,102 @@
+"""Select benchmark (paper Section 5, Figures 7/8).
+
+"Our database Select is a sequential range selection that checks if one
+integer field of a record falls within a specific range.  The input data
+table has a size of 128M bytes with the same configuration as in
+HashJoin ... In the active cases, selection is done inside the switch
+and the host CPU just counts the number of matching records."
+
+Host caches are the paper's 8x-scaled database configuration.  When the
+input is scaled down by N for simulation speed, the caches scale by the
+same N (the paper's own methodology, applied once more).
+
+Cost model: a record comparison is ~8 cycles (load key, two compares,
+branch); the host's scan touches every record's first line (one 128 B
+L2 line per record — this is where the "reduction in cache misses for
+the host CPUs in the active cases" comes from).  The handler compares
+from the data buffers (no misses by design).  In the active cases the
+host only counts matches reported in the completion descriptor — it
+does not touch the forwarded records during the selection phase.
+"""
+
+from __future__ import annotations
+
+from ..workloads import records
+from .base import BlockWork, StreamApp
+
+#: Host cycles to evaluate the predicate on one record.
+HOST_COMPARE_CYCLES = 8
+#: Switch handler cycles per record (same compare, MIPS-like core).
+SWITCH_COMPARE_CYCLES = 10
+#: Host cycles per block in the active case (read completion, add count).
+ACTIVE_HOST_PER_BLOCK_CYCLES = 40
+#: Paper input size.
+PAPER_INPUT_BYTES = 128 * 1024 * 1024
+
+_INPUT_BASE = 0x2000_0000
+
+
+def _pow2_divisor(scale: float) -> int:
+    """Cache divisor matching a 1/N input scale (N a power of two)."""
+    divisor = 1
+    while divisor < 64 and scale * divisor * 2 <= 1.0:
+        divisor *= 2
+    return divisor
+
+
+class SelectApp(StreamApp):
+    """The Select benchmark under the four configurations."""
+
+    name = "select"
+    request_bytes = 64 * 1024
+    database_scaled = True
+
+    def __init__(self, scale: float = 1.0,
+                 selectivity: float = records.PAPER_SELECT_SELECTIVITY):
+        self.selectivity = selectivity
+        self.cache_scale_divisor = _pow2_divisor(scale)
+        super().__init__(scale=scale)
+
+    def prepare(self) -> None:
+        total = max(256 * records.RECORD_BYTES,
+                    int(PAPER_INPUT_BYTES * self.scale))
+        total -= total % records.RECORD_BYTES
+        table = records.generate_select_table(total,
+                                              selectivity=self.selectivity)
+        self.table = table
+        self.total_matches = 0
+        per_block = records.records_per_block(self.request_bytes)
+        cursor = _INPUT_BASE
+        for start in range(0, table.num_records, per_block):
+            keys = table.keys[start:start + per_block]
+            matches = sum(1 for k in keys
+                          if records.SELECT_LOW <= k < records.SELECT_HIGH)
+            self.total_matches += matches
+            nbytes = len(keys) * records.RECORD_BYTES
+            base = cursor
+            cursor += nbytes
+
+            def host_stall(hierarchy, addr=base, count=len(keys)):
+                # One key load per record: stride = record size, so each
+                # record's first line misses (the paper's cold-miss cost
+                # of scanning a table that streams through the caches).
+                stall = 0
+                for i in range(count):
+                    stall += hierarchy.load(addr + i * records.RECORD_BYTES)
+                return stall
+
+            self.blocks.append(BlockWork(
+                nbytes=nbytes,
+                host_cycles=len(keys) * HOST_COMPARE_CYCLES,
+                host_stall_fn=host_stall,
+                handler_cycles=len(keys) * SWITCH_COMPARE_CYCLES,
+                handler_stall_fn=None,
+                out_bytes=matches * records.RECORD_BYTES,
+                active_host_cycles=ACTIVE_HOST_PER_BLOCK_CYCLES,
+                active_host_stall_fn=None,
+            ))
+
+    def reference_match_count(self) -> int:
+        """Functional oracle for the tests."""
+        return sum(1 for k in self.table.keys
+                   if records.SELECT_LOW <= k < records.SELECT_HIGH)

@@ -1,0 +1,21 @@
+"""Cluster assembly: configuration, nodes, system builder, I/O streams."""
+
+from .config import CASE_ORDER, ClusterConfig, four_cases
+from .iostream import BlockArrival, ReadStream, WriteStream
+from .node import ComputeNode, StorageNode
+from .presets import PRESETS, get_preset
+from .system import System
+
+__all__ = [
+    "CASE_ORDER",
+    "ClusterConfig",
+    "four_cases",
+    "BlockArrival",
+    "ReadStream",
+    "WriteStream",
+    "ComputeNode",
+    "StorageNode",
+    "PRESETS",
+    "get_preset",
+    "System",
+]

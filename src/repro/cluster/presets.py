@@ -1,0 +1,83 @@
+"""Named cluster-configuration presets.
+
+``paper_2003`` is the baseline every experiment uses; the others scale
+individual technologies to support sensitivity studies:
+
+* ``fast_fabric`` — 10x links and crossbar (10 GB/s-class SAN);
+* ``fast_storage`` — 8x disks (early-NVMe-class 800 MB/s streams);
+* ``fast_switch_cpu`` — embedded core at host parity (2 GHz);
+* ``balanced_2006`` — a plausible three-years-later system: 2x disks,
+  2x links, 1 GHz switch core.
+
+Presets return fresh :class:`ClusterConfig` values; override fields
+with :func:`dataclasses.replace` as usual.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Callable, Dict
+
+from ..io.disk import DiskConfig
+from ..net.link import LinkConfig
+from ..switch.active import ActiveSwitchConfig
+from .config import ClusterConfig
+
+
+def paper_2003(**overrides) -> ClusterConfig:
+    """The paper's Section 4 testbed (the library default)."""
+    return replace(ClusterConfig(), **overrides) if overrides else ClusterConfig()
+
+
+def fast_fabric(**overrides) -> ClusterConfig:
+    """10 GB/s links and crossbar; everything else per the paper."""
+    base = ClusterConfig(
+        link=LinkConfig(bandwidth_bytes_per_s=10e9),
+        active_switch=ActiveSwitchConfig(
+            crossbar_bandwidth_bytes_per_s=10e9),
+    )
+    return replace(base, **overrides) if overrides else base
+
+
+def fast_storage(**overrides) -> ClusterConfig:
+    """8x disk bandwidth (2 x 400 MB/s spindles)."""
+    base = ClusterConfig(
+        disk=DiskConfig(bandwidth_bytes_per_s=400e6))
+    return replace(base, **overrides) if overrides else base
+
+
+def fast_switch_cpu(**overrides) -> ClusterConfig:
+    """Embedded switch core at host clock parity (2 GHz)."""
+    base = ClusterConfig(
+        active_switch=ActiveSwitchConfig(cpu_freq_hz=2e9))
+    return replace(base, **overrides) if overrides else base
+
+
+def balanced_2006(**overrides) -> ClusterConfig:
+    """A plausible 2006 refresh: 2x disks and links, 1 GHz switch core."""
+    base = ClusterConfig(
+        disk=DiskConfig(bandwidth_bytes_per_s=100e6),
+        link=LinkConfig(bandwidth_bytes_per_s=2e9),
+        active_switch=ActiveSwitchConfig(
+            cpu_freq_hz=1e9, crossbar_bandwidth_bytes_per_s=2e9),
+    )
+    return replace(base, **overrides) if overrides else base
+
+
+PRESETS: Dict[str, Callable[..., ClusterConfig]] = {
+    "paper_2003": paper_2003,
+    "fast_fabric": fast_fabric,
+    "fast_storage": fast_storage,
+    "fast_switch_cpu": fast_switch_cpu,
+    "balanced_2006": balanced_2006,
+}
+
+
+def get_preset(name: str, **overrides) -> ClusterConfig:
+    """Look up a preset by name."""
+    try:
+        factory = PRESETS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown preset {name!r}; known: {sorted(PRESETS)}") from None
+    return factory(**overrides)

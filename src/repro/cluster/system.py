@@ -1,0 +1,239 @@
+"""System assembly: hosts, switch(es), storage, and the bulk datapath.
+
+:class:`System` builds one SAN cluster from a :class:`ClusterConfig`:
+every host and storage node hangs off one central switch (the paper's
+Figure 1), wired with real duplex links, with routing tables populated.
+
+Two datapaths coexist:
+
+* the **packet path** — real per-packet simulation through HCAs, links,
+  and the (active) switch; used for small messages (reductions, request
+  headers) and fully exercised by the integration tests;
+* the **block path** — bulk sequential I/O moves in request-sized blocks
+  whose intra-block pipelining (cut-through, valid-bit streaming) is
+  priced from the same component parameters; used by the streaming
+  benchmarks where per-packet simulation of ~250 000 MTUs per run would
+  add nothing but wall-clock time (see DESIGN.md section 2).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..net.link import Link
+from ..net.packet import HEADER_BYTES, MTU
+from ..sim.core import Environment
+from ..sim.resources import Store
+from ..sim.units import transfer_ps
+from ..switch.active import ActiveSwitch
+from ..switch.base import BaseSwitch
+from .config import ClusterConfig
+from .node import ComputeNode, StorageNode
+
+
+class System:
+    """One switch-centred SAN cluster."""
+
+    def __init__(self, config: ClusterConfig,
+                 env: Optional[Environment] = None):
+        self.config = config
+        self.env = env if env is not None else Environment()
+        needed_ports = config.num_hosts + config.num_storage
+        switch_config = config.switch
+        if needed_ports > switch_config.num_ports:
+            from dataclasses import replace
+            switch_config = replace(switch_config, num_ports=needed_ports)
+        if config.active:
+            self.switch = ActiveSwitch(self.env, "sw0", switch_config,
+                                       config.active_switch)
+        else:
+            self.switch = BaseSwitch(self.env, "sw0", switch_config)
+
+        self.hosts: List[ComputeNode] = []
+        self.storage_nodes: List[StorageNode] = []
+        self._links: Dict[str, tuple] = {}
+
+        port = 0
+        for i in range(config.num_hosts):
+            node = ComputeNode(self.env, f"host{i}", config)
+            self._attach(node.hca, node.name, port)
+            self.hosts.append(node)
+            port += 1
+        for i in range(config.num_storage):
+            node = StorageNode(self.env, f"storage{i}", config)
+            self._attach(node.tca, node.name, port)
+            self.storage_nodes.append(node)
+            port += 1
+
+        #: Block-level pool of embedded CPUs (active systems only).
+        self.switch_cpu_pool: Optional[Store] = None
+        if config.active:
+            self.switch_cpu_pool = Store(self.env)
+            for cpu in self.switch.cpus:
+                self.switch_cpu_pool.items.append(cpu)
+
+    # ------------------------------------------------------------------
+    # Wiring
+    # ------------------------------------------------------------------
+    def _attach(self, adapter, name: str, port: int) -> None:
+        to_switch = Link(self.env, f"{name}->sw0", self.config.link)
+        from_switch = Link(self.env, f"sw0->{name}", self.config.link)
+        adapter.attach(tx_link=to_switch, rx_link=from_switch)
+        self.switch.connect(port, tx_link=from_switch, rx_link=to_switch)
+        self.switch.routing.add(name, port)
+        self._links[name] = (to_switch, from_switch)
+
+    @property
+    def host(self) -> ComputeNode:
+        """The (first) host — convenience for single-host experiments."""
+        return self.hosts[0]
+
+    @property
+    def storage(self) -> StorageNode:
+        """The (first) storage node."""
+        return self.storage_nodes[0]
+
+    def links_for(self, name: str):
+        """(to_switch, from_switch) link pair of node ``name``."""
+        return self._links[name]
+
+    # ------------------------------------------------------------------
+    # Fixed path latencies (block path)
+    # ------------------------------------------------------------------
+    def request_path_ps(self) -> int:
+        """Control-message latency host -> storage (CPU charge excluded)."""
+        link = self.config.link
+        control_wire = transfer_ps(2 * HEADER_BYTES, link.bandwidth_bytes_per_s)
+        return (self.config.hca.per_packet_ps
+                + control_wire + link.propagation_ps
+                + self.config.switch.routing_latency_ps
+                + control_wire + link.propagation_ps)
+
+    def _hop_ps(self, payload: int = MTU) -> int:
+        """One MTU through one link + the switch."""
+        link = self.config.link
+        return (transfer_ps(payload + HEADER_BYTES, link.bandwidth_bytes_per_s)
+                + link.propagation_ps
+                + self.config.switch.routing_latency_ps)
+
+    def first_data_tail_ps(self, to_switch: bool) -> int:
+        """Storage-to-destination latency of the stream's first MTU."""
+        disk_mtu = transfer_ps(MTU, self.storage.disks.aggregate_bandwidth)
+        scsi_mtu = self.storage.scsi.occupancy_ps(MTU)
+        tail = disk_mtu + scsi_mtu + self.config.tca.per_packet_ps + self._hop_ps()
+        if not to_switch:
+            link = self.config.link
+            tail += (transfer_ps(MTU + HEADER_BYTES, link.bandwidth_bytes_per_s)
+                     + link.propagation_ps + self.config.hca.per_packet_ps)
+        return tail
+
+    def last_data_tail_ps(self, to_switch: bool) -> int:
+        """Latency from last byte off the platter to last byte at dest."""
+        scsi_mtu = self.storage.scsi.occupancy_ps(MTU)
+        tail = scsi_mtu + self.config.tca.per_packet_ps + self._hop_ps()
+        if not to_switch:
+            link = self.config.link
+            tail += (transfer_ps(MTU + HEADER_BYTES, link.bandwidth_bytes_per_s)
+                     + link.propagation_ps + self.config.hca.per_packet_ps)
+        return tail
+
+    # ------------------------------------------------------------------
+    # Bulk movement helpers
+    # ------------------------------------------------------------------
+    def switch_to_host_bulk(self, host: ComputeNode, nbytes: int):
+        """Handler output streaming from the switch into host memory.
+
+        Holds the host's downlink for the wire occupancy and accounts
+        the bytes as host I/O traffic.
+        """
+        if nbytes <= 0:
+            return
+            yield  # pragma: no cover
+        _, from_switch = self._links[host.name]
+        wire = from_switch.acquire()
+        grant = wire.request()
+        yield grant
+        try:
+            yield self.env.timeout(from_switch.occupancy_ps(nbytes))
+        finally:
+            wire.release(grant)
+        host.hca.account_bulk_in(nbytes)
+
+    def host_to_host_bulk(self, src: ComputeNode, dst: ComputeNode,
+                          nbytes: int):
+        """Bulk memory-to-memory transfer between two hosts.
+
+        Cut-through: the uplink of ``src`` and downlink of ``dst`` are
+        held simultaneously for the wire occupancy.
+        """
+        if nbytes <= 0:
+            return
+            yield  # pragma: no cover
+        to_switch, _ = self._links[src.name]
+        _, from_switch = self._links[dst.name]
+        up = to_switch.acquire().request()
+        down = from_switch.acquire().request()
+        yield self.env.all_of([up, down])
+        try:
+            yield self.env.timeout(
+                to_switch.occupancy_ps(nbytes)
+                + self.config.switch.routing_latency_ps)
+        finally:
+            to_switch.acquire().release(up)
+            from_switch.acquire().release(down)
+        src.hca.account_bulk_out(nbytes)
+        dst.hca.account_bulk_in(nbytes)
+
+    def switch_to_remote_bulk(self, dst_name: str, nbytes: int):
+        """Handler output streamed to an arbitrary node (Tar's archive).
+
+        Only the destination's downlink is held; the source is the
+        switch's own data buffers.
+        """
+        if nbytes <= 0:
+            return
+            yield  # pragma: no cover
+        _, from_switch = self._links[dst_name]
+        grant = from_switch.acquire().request()
+        yield grant
+        try:
+            yield self.env.timeout(from_switch.occupancy_ps(nbytes))
+        finally:
+            from_switch.acquire().release(grant)
+
+    # ------------------------------------------------------------------
+    # Block-level handler execution
+    # ------------------------------------------------------------------
+    def process_on_switch(self, cycles: float, stall_ps: int,
+                          arrival_end_event=None):
+        """Run one block's worth of handler work on a free switch CPU.
+
+        The handler computes while the block streams in (valid-bit
+        overlap): completion is ``max(compute done, arrival done)``.
+        Waiting for data beyond the compute time is charged as switch
+        CPU stall (stalled on invalid buffer lines).
+        """
+        if self.switch_cpu_pool is None:
+            raise RuntimeError("process_on_switch requires an active system")
+        cpu = yield self.switch_cpu_pool.get()
+        try:
+            if not self.config.cut_through and arrival_end_event is not None \
+                    and not arrival_end_event.processed:
+                # Store-and-forward ablation: no valid-bit overlap — the
+                # handler may not start until the whole block is in.
+                wait_start = self.env.now
+                yield arrival_end_event
+                cpu.accounting.add_stall(self.env.now - wait_start)
+            yield from cpu.work(busy_cycles=cycles, stall_ps=stall_ps)
+            if arrival_end_event is not None and not arrival_end_event.processed:
+                wait_start = self.env.now
+                yield arrival_end_event
+                cpu.accounting.add_stall(self.env.now - wait_start)
+        finally:
+            yield self.switch_cpu_pool.put(cpu)
+        return cpu
+
+    def __repr__(self) -> str:
+        return (f"<System {self.config.case_label}: {len(self.hosts)} hosts, "
+                f"{len(self.storage_nodes)} storage, "
+                f"switch={'active' if self.config.active else 'base'}>")

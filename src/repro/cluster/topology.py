@@ -1,0 +1,180 @@
+"""Multi-switch topologies: the reduction experiments' switch tree.
+
+"We can organize the switches logically in a tree and have each leaf
+switch combine the vectors from compute nodes connected to it and send
+the result vector to its parent switch."  Each switch has 16 ports; 8
+of a leaf's ports connect compute nodes (the paper's assumption), one
+port uplinks to its parent.
+
+The same fabric serves the *normal* MST reduction: routing tables send
+host-addressed packets down the correct child port or up the default
+uplink, so host-to-host messages transit the tree through the least
+common ancestor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from ..net.hca import HCA, HcaConfig
+from ..net.link import Link, LinkConfig
+from ..sim.core import Environment
+from ..switch.active import ActiveSwitch, ActiveSwitchConfig
+from ..switch.base import SwitchConfig
+from .config import ClusterConfig
+from .node import ComputeNode
+
+
+@dataclass
+class TreeSwitch:
+    """One switch plus its tree bookkeeping."""
+
+    switch: ActiveSwitch
+    level: int
+    parent: Optional["TreeSwitch"] = None
+    children: List["TreeSwitch"] = field(default_factory=list)
+    hosts: List[ComputeNode] = field(default_factory=list)
+    #: Hosts in this switch's subtree (for routing).
+    subtree_hosts: List[str] = field(default_factory=list)
+
+    @property
+    def name(self) -> str:
+        return self.switch.name
+
+    @property
+    def fan_in(self) -> int:
+        """Streams this switch combines: hosts (leaf) or children."""
+        return len(self.hosts) if self.hosts else len(self.children)
+
+
+class SwitchTree:
+    """A tree of active switches with hosts on the leaves."""
+
+    def __init__(
+        self,
+        env: Environment,
+        num_hosts: int,
+        hosts_per_leaf: int = 8,
+        switch_ports: int = 16,
+        cluster_config: Optional[ClusterConfig] = None,
+        hca_config: Optional[HcaConfig] = None,
+        link_config: LinkConfig = LinkConfig(),
+        active_config: ActiveSwitchConfig = ActiveSwitchConfig(),
+    ):
+        if num_hosts < 1:
+            raise ValueError("need at least one host")
+        if hosts_per_leaf < 1 or hosts_per_leaf > switch_ports - 1:
+            raise ValueError("hosts_per_leaf must leave an uplink port")
+        self.env = env
+        self.num_hosts = num_hosts
+        self.hosts_per_leaf = hosts_per_leaf
+        self.link_config = link_config
+        self._switch_count = 0
+        cluster_config = cluster_config or ClusterConfig()
+        hca_config = hca_config or cluster_config.hca
+        switch_config = SwitchConfig(
+            num_ports=switch_ports,
+            routing_latency_ps=cluster_config.switch.routing_latency_ps)
+
+        # Hosts.
+        self.hosts: List[ComputeNode] = []
+        for i in range(num_hosts):
+            node = ComputeNode(env, f"host{i}", cluster_config)
+            node.hca = HCA(env, node.name, node.cpu, config=hca_config)
+            self.hosts.append(node)
+
+        # Leaves.
+        def new_switch(level: int) -> TreeSwitch:
+            name = f"sw-l{level}-{self._switch_count}"
+            self._switch_count += 1
+            return TreeSwitch(
+                switch=ActiveSwitch(env, name, switch_config, active_config),
+                level=level)
+
+        self.levels: List[List[TreeSwitch]] = []
+        leaves: List[TreeSwitch] = []
+        for start in range(0, num_hosts, hosts_per_leaf):
+            leaf = new_switch(0)
+            for port_offset, host in enumerate(
+                    self.hosts[start:start + hosts_per_leaf]):
+                self._wire_host(leaf, port_offset, host)
+            leaves.append(leaf)
+        self.levels.append(leaves)
+
+        # Internal levels: N/2 children per parent, matching the paper's
+        # assumption (half the ports face down) and its log_{N/2}(p)
+        # scaling factor.
+        children_per_parent = hosts_per_leaf
+        level = 0
+        current = leaves
+        while len(current) > 1:
+            level += 1
+            parents: List[TreeSwitch] = []
+            for start in range(0, len(current), children_per_parent):
+                parent = new_switch(level)
+                for port_offset, child in enumerate(
+                        current[start:start + children_per_parent]):
+                    self._wire_switches(parent, port_offset, child)
+                parents.append(parent)
+            self.levels.append(parents)
+            current = parents
+        self.root = current[0]
+        self._finalize_routing()
+
+    # ------------------------------------------------------------------
+    # Wiring
+    # ------------------------------------------------------------------
+    def _wire_host(self, leaf: TreeSwitch, port: int, host: ComputeNode):
+        to_switch = Link(self.env, f"{host.name}->{leaf.name}",
+                         self.link_config)
+        from_switch = Link(self.env, f"{leaf.name}->{host.name}",
+                           self.link_config)
+        host.hca.attach(tx_link=to_switch, rx_link=from_switch)
+        leaf.switch.connect(port, tx_link=from_switch, rx_link=to_switch)
+        leaf.switch.routing.add(host.name, port)
+        leaf.hosts.append(host)
+        leaf.subtree_hosts.append(host.name)
+
+    def _wire_switches(self, parent: TreeSwitch, port: int,
+                       child: TreeSwitch):
+        child_uplink_port = parent.switch.config.num_ports - 1
+        up = Link(self.env, f"{child.name}->{parent.name}", self.link_config)
+        down = Link(self.env, f"{parent.name}->{child.name}", self.link_config)
+        parent.switch.connect(port, tx_link=down, rx_link=up)
+        child.switch.connect(child_uplink_port, tx_link=up, rx_link=down)
+        parent.switch.routing.add(child.name, port)
+        child.switch.routing.add(parent.name, child_uplink_port)
+        child.switch.routing.set_default(child_uplink_port)
+        child.parent = parent
+        parent.children.append(child)
+        parent.subtree_hosts.extend(child.subtree_hosts)
+
+    def _finalize_routing(self) -> None:
+        # Downward host routes at internal switches; every switch also
+        # learns a route toward every other switch via up/down defaults.
+        for level in self.levels[1:]:
+            for node in level:
+                for port, child in enumerate(node.children):
+                    node.switch.routing.add_many(child.subtree_hosts, port)
+        # The root has no uplink: anything unknown is an error, which is
+        # what we want (all hosts/switches are below it).
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def switches(self) -> List[TreeSwitch]:
+        return [node for level in self.levels for node in level]
+
+    @property
+    def depth(self) -> int:
+        """Number of switch levels."""
+        return len(self.levels)
+
+    def leaf_of(self, host: ComputeNode) -> TreeSwitch:
+        """The leaf switch a host hangs off."""
+        for leaf in self.levels[0]:
+            if host in leaf.hosts:
+                return leaf
+        raise ValueError(f"{host.name} not in this tree")

@@ -1,0 +1,14 @@
+"""Processor models: the 2 GHz host CPU and the 500 MHz switch CPU."""
+
+from .accounting import Breakdown, CpuAccounting
+from .host import HOST_FREQ_HZ, HostCPU
+from .switch_cpu import SWITCH_FREQ_HZ, SwitchCPU
+
+__all__ = [
+    "Breakdown",
+    "CpuAccounting",
+    "HostCPU",
+    "SwitchCPU",
+    "HOST_FREQ_HZ",
+    "SWITCH_FREQ_HZ",
+]

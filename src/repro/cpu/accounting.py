@@ -1,0 +1,76 @@
+"""Execution-time accounting for the paper's breakdown figures.
+
+Every breakdown figure in the paper splits execution time into **CPU
+busy**, **cache stall**, and **idle** for each processor ("n-HP",
+"a+p-SP", ...).  :class:`CpuAccounting` accumulates busy and stall time;
+idle is whatever remains of the wall-clock execution time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class Breakdown:
+    """A finalized execution-time breakdown, in picoseconds."""
+
+    label: str
+    exec_ps: int
+    busy_ps: int
+    stall_ps: int
+
+    @property
+    def idle_ps(self) -> int:
+        return max(0, self.exec_ps - self.busy_ps - self.stall_ps)
+
+    @property
+    def busy_frac(self) -> float:
+        return self.busy_ps / self.exec_ps if self.exec_ps else 0.0
+
+    @property
+    def stall_frac(self) -> float:
+        return self.stall_ps / self.exec_ps if self.exec_ps else 0.0
+
+    @property
+    def idle_frac(self) -> float:
+        return self.idle_ps / self.exec_ps if self.exec_ps else 0.0
+
+    @property
+    def utilization(self) -> float:
+        """The paper's host utilization metric: (1 - idle/exec)."""
+        return 1.0 - self.idle_frac if self.exec_ps else 0.0
+
+    def __str__(self) -> str:
+        return (f"{self.label}: busy {self.busy_frac:6.1%}  "
+                f"stall {self.stall_frac:6.1%}  idle {self.idle_frac:6.1%}")
+
+
+class CpuAccounting:
+    """Accumulates busy and stall time for one processor."""
+
+    def __init__(self, label: str):
+        self.label = label
+        self.busy_ps = 0
+        self.stall_ps = 0
+
+    def add_busy(self, duration_ps: int) -> None:
+        if duration_ps < 0:
+            raise ValueError(f"negative busy time {duration_ps}")
+        self.busy_ps += duration_ps
+
+    def add_stall(self, duration_ps: int) -> None:
+        if duration_ps < 0:
+            raise ValueError(f"negative stall time {duration_ps}")
+        self.stall_ps += duration_ps
+
+    def finalize(self, exec_ps: int) -> Breakdown:
+        """Produce a breakdown against total execution time ``exec_ps``."""
+        return Breakdown(self.label, exec_ps, self.busy_ps, self.stall_ps)
+
+    def reset(self) -> None:
+        self.busy_ps = 0
+        self.stall_ps = 0
+
+    def __repr__(self) -> str:
+        return f"<CpuAccounting {self.label}: busy={self.busy_ps} stall={self.stall_ps}>"

@@ -1,0 +1,21 @@
+"""Experiment harness: every paper table and figure, runnable.
+
+Usage::
+
+    from repro.experiments import get, all_experiments, compare
+
+    exp = get("fig09_10_grep")
+    result = exp.run(scale=exp.default_scale)
+    for metric, measured, paper in compare(exp, result):
+        print(metric, measured, paper)
+
+``python -m repro.experiments`` runs everything and prints the full
+paper-vs-measured report (the source of EXPERIMENTS.md).
+"""
+
+from . import figures  # noqa: F401  (registration side effects)
+from . import multiprogramming  # noqa: F401  (extension experiment)
+from . import two_level  # noqa: F401  (extension experiment)
+from .registry import Experiment, all_experiments, compare, get
+
+__all__ = ["Experiment", "all_experiments", "compare", "get"]

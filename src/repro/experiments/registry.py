@@ -1,0 +1,70 @@
+"""Experiment registry: one entry per paper table/figure.
+
+Each experiment knows how to regenerate its artifact (at a configurable
+workload scale) and carries the paper's reported numbers so the harness
+can print paper-vs-measured comparisons (recorded in EXPERIMENTS.md).
+
+Scales: the paper's own inputs are ``scale=1.0``; the registry's
+``default_scale`` keeps each experiment's wall-clock time reasonable
+while preserving behaviour (cache sizes co-scale with database inputs,
+exactly the paper's own scaling trick).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List
+
+
+@dataclass
+class Experiment:
+    """A reproducible paper artifact."""
+
+    experiment_id: str
+    title: str
+    #: Paper-quoted values this experiment should reproduce the shape of.
+    paper: Dict[str, float]
+    #: run(scale) -> result object (BenchmarkResult, rows, ...).
+    run: Callable
+    #: measured(result) -> {metric: value} aligned with ``paper``.
+    measured: Callable
+    default_scale: float = 1.0
+    notes: str = ""
+
+
+_REGISTRY: Dict[str, Experiment] = {}
+
+
+def register(experiment: Experiment) -> Experiment:
+    """Add an experiment to the registry (id must be unique)."""
+    if experiment.experiment_id in _REGISTRY:
+        raise ValueError(f"duplicate experiment {experiment.experiment_id}")
+    _REGISTRY[experiment.experiment_id] = experiment
+    return experiment
+
+
+def get(experiment_id: str) -> Experiment:
+    """Look up one experiment."""
+    try:
+        return _REGISTRY[experiment_id]
+    except KeyError:
+        raise KeyError(
+            f"unknown experiment {experiment_id!r}; "
+            f"known: {sorted(_REGISTRY)}") from None
+
+
+def all_experiments() -> List[Experiment]:
+    """All registered experiments in id order."""
+    return [_REGISTRY[k] for k in sorted(_REGISTRY)]
+
+
+def compare(experiment: Experiment, result) -> List[tuple]:
+    """(metric, measured, paper) rows for reporting."""
+    measured = experiment.measured(result)
+    rows = []
+    for metric, paper_value in experiment.paper.items():
+        rows.append((metric, measured.get(metric, float("nan")), paper_value))
+    for metric, value in measured.items():
+        if metric not in experiment.paper:
+            rows.append((metric, value, None))
+    return rows

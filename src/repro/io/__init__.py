@@ -1,0 +1,20 @@
+"""I/O subsystem: disks, SCSI bus, target adapter, OS cost model."""
+
+from .disk import Disk, DiskArray, DiskConfig, DiskStats
+from .os_model import OsCostConfig, OsCostModel
+from .scsi import ScsiBus, ScsiConfig, ScsiStats
+from .tca import TCA, TcaConfig
+
+__all__ = [
+    "Disk",
+    "DiskArray",
+    "DiskConfig",
+    "DiskStats",
+    "OsCostConfig",
+    "OsCostModel",
+    "ScsiBus",
+    "ScsiConfig",
+    "ScsiStats",
+    "TCA",
+    "TcaConfig",
+]

@@ -1,0 +1,226 @@
+"""Disk model: seek time, rotation speed, peak bandwidth.
+
+"The disk model includes three timing related parameters: seek time,
+rotation speed and peak bandwidth.  For all the experiments in this
+paper, we use two disks with a total peak bandwidth of 100 MB/s and we
+assume a sequential access pattern because most of our applications deal
+with large files."
+
+:class:`Disk` is one spindle; :class:`DiskArray` stripes a logical
+stream across several disks, giving the paper's 2 x 50 MB/s = 100 MB/s
+aggregate.  Sequential requests pay positioning (seek + half-rotation)
+only when the head moves away from the previous request's end.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..metrics.sampling import BusyTracker
+from ..sim.core import Environment
+from ..sim.resources import Resource
+from ..sim.units import SEC, ms, transfer_ps
+
+
+@dataclass(frozen=True)
+class DiskConfig:
+    """One spindle's timing parameters."""
+
+    seek_ps: int = ms(5.0)
+    rpm: int = 10_000
+    bandwidth_bytes_per_s: float = 50e6
+
+    def __post_init__(self):
+        if self.seek_ps < 0:
+            raise ValueError("seek time cannot be negative")
+        if self.rpm <= 0:
+            raise ValueError("rotation speed must be positive")
+        if self.bandwidth_bytes_per_s <= 0:
+            raise ValueError("disk bandwidth must be positive")
+
+    @property
+    def half_rotation_ps(self) -> int:
+        """Average rotational latency: half a revolution."""
+        return round(SEC * 60 / self.rpm / 2)
+
+
+@dataclass
+class DiskStats:
+    requests: int = 0
+    sequential_requests: int = 0
+    bytes_read: int = 0
+    bytes_written: int = 0
+    positioning_ps: int = 0
+    transfer_ps_total: int = 0
+
+
+class Disk:
+    """One disk spindle with a single request queue (the arm)."""
+
+    def __init__(self, env: Environment, name: str,
+                 config: DiskConfig = DiskConfig()):
+        self.env = env
+        self.name = name
+        self.config = config
+        self.stats = DiskStats()
+        self.arm = Resource(env, capacity=1)
+        self.busy = BusyTracker(env)
+        self._head_position = -1  # byte offset after the last transfer
+
+    def position_head(self, offset: int) -> None:
+        """Pre-position the head (models OS read-ahead having already
+        seeked, or a file contiguous with prior activity)."""
+        self._head_position = offset
+
+    def read(self, offset: int, nbytes: int, started=None):
+        """Read ``nbytes`` at ``offset``; generator completes when the
+        last byte leaves the platter.
+
+        ``started``, if given, is an event triggered once the head is in
+        position and data begins to flow — the moment a cut-through
+        stream's first bytes leave for the fabric.
+        """
+        if nbytes <= 0:
+            raise ValueError(f"read size must be positive, got {nbytes}")
+        grant = self.arm.request()
+        yield grant
+        self.busy.enter()
+        try:
+            self.stats.requests += 1
+            sequential = offset == self._head_position
+            if sequential:
+                self.stats.sequential_requests += 1
+            else:
+                positioning = self.config.seek_ps + self.config.half_rotation_ps
+                self.stats.positioning_ps += positioning
+                yield self.env.timeout(positioning)
+            if started is not None and not started.triggered:
+                started.succeed()
+            transfer = transfer_ps(nbytes, self.config.bandwidth_bytes_per_s)
+            self.stats.transfer_ps_total += transfer
+            self.stats.bytes_read += nbytes
+            yield self.env.timeout(transfer)
+            self._head_position = offset + nbytes
+        finally:
+            self.busy.exit()
+            self.arm.release(grant)
+
+    def write(self, offset: int, nbytes: int, started=None):
+        """Write ``nbytes`` at ``offset``; same mechanics as read (the
+        paper's disk model is symmetric: position, then stream)."""
+        if nbytes <= 0:
+            raise ValueError(f"write size must be positive, got {nbytes}")
+        grant = self.arm.request()
+        yield grant
+        self.busy.enter()
+        try:
+            self.stats.requests += 1
+            sequential = offset == self._head_position
+            if sequential:
+                self.stats.sequential_requests += 1
+            else:
+                positioning = self.config.seek_ps + self.config.half_rotation_ps
+                self.stats.positioning_ps += positioning
+                yield self.env.timeout(positioning)
+            if started is not None and not started.triggered:
+                started.succeed()
+            transfer = transfer_ps(nbytes, self.config.bandwidth_bytes_per_s)
+            self.stats.transfer_ps_total += transfer
+            self.stats.bytes_written += nbytes
+            yield self.env.timeout(transfer)
+            self._head_position = offset + nbytes
+        finally:
+            self.busy.exit()
+            self.arm.release(grant)
+
+    def __repr__(self) -> str:
+        return f"<Disk {self.name}: {self.stats.bytes_read} B read>"
+
+
+class DiskArray:
+    """Several spindles striped into one logical sequential device.
+
+    A logical read of B bytes is split evenly across the disks, which
+    transfer in parallel — aggregate bandwidth is the sum of the
+    spindles', i.e. the paper's 100 MB/s for two 50 MB/s disks.
+    """
+
+    def __init__(self, env: Environment, name: str = "disks",
+                 num_disks: int = 2, config: DiskConfig = DiskConfig()):
+        if num_disks < 1:
+            raise ValueError("need at least one disk")
+        self.env = env
+        self.name = name
+        self.config = config
+        self.disks = [Disk(env, f"{name}-{i}", config) for i in range(num_disks)]
+
+    @property
+    def aggregate_bandwidth(self) -> float:
+        """Peak bytes/s across all spindles."""
+        return self.config.bandwidth_bytes_per_s * len(self.disks)
+
+    def position_heads(self, offset: int) -> None:
+        """Pre-position every spindle (see Disk.position_head)."""
+        for disk in self.disks:
+            disk.position_head(offset // len(self.disks))
+
+    @property
+    def bytes_read(self) -> int:
+        return sum(d.stats.bytes_read for d in self.disks)
+
+    def read(self, offset: int, nbytes: int, started=None):
+        """Striped read; completes when every spindle's share is done.
+
+        ``started`` fires when the first spindle begins transferring.
+        """
+        if nbytes <= 0:
+            raise ValueError(f"read size must be positive, got {nbytes}")
+        share = -(-nbytes // len(self.disks))
+        events = []
+        remaining = nbytes
+        for index, disk in enumerate(self.disks):
+            chunk = min(share, remaining)
+            if chunk <= 0:
+                break
+            events.append(self.env.process(
+                disk.read(offset // len(self.disks), chunk,
+                          started=started if index == 0 else None),
+                name=f"{disk.name}-read"))
+            remaining -= chunk
+        yield self.env.all_of(events)
+
+    def write(self, offset: int, nbytes: int, started=None):
+        """Striped write; completes when every spindle's share is done."""
+        if nbytes <= 0:
+            raise ValueError(f"write size must be positive, got {nbytes}")
+        share = -(-nbytes // len(self.disks))
+        events = []
+        remaining = nbytes
+        for index, disk in enumerate(self.disks):
+            chunk = min(share, remaining)
+            if chunk <= 0:
+                break
+            events.append(self.env.process(
+                disk.write(offset // len(self.disks), chunk,
+                           started=started if index == 0 else None),
+                name=f"{disk.name}-write"))
+            remaining -= chunk
+        yield self.env.all_of(events)
+
+    @property
+    def bytes_written(self) -> int:
+        return sum(d.stats.bytes_written for d in self.disks)
+
+    def utilization(self) -> float:
+        """Mean spindle busy fraction since simulation start."""
+        if not self.disks:
+            return 0.0
+        return sum(d.busy.utilization() for d in self.disks) / len(self.disks)
+
+    def transfer_ps(self, nbytes: int) -> int:
+        """Analytic aggregate transfer time for a sequential stream."""
+        return transfer_ps(nbytes, self.aggregate_bandwidth)
+
+    def __repr__(self) -> str:
+        return (f"<DiskArray {self.name}: {len(self.disks)} disks, "
+                f"{self.aggregate_bandwidth / 1e6:g} MB/s>")

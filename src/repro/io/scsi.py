@@ -1,0 +1,77 @@
+"""Ultra-320 SCSI bus model.
+
+"The SCSI bus models the overhead of arbitration and selection
+transactions and has a peak throughput of 320 MB/s."  Every transaction
+pays arbitration + selection before data moves; the bus is a shared
+medium, so concurrent requests serialize on it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..sim.core import Environment
+from ..sim.resources import Resource
+from ..sim.units import transfer_ps, us
+
+
+@dataclass(frozen=True)
+class ScsiConfig:
+    """Ultra-320 bus parameters."""
+
+    bandwidth_bytes_per_s: float = 320e6
+    arbitration_ps: int = us(1.0)
+    selection_ps: int = us(0.5)
+
+    def __post_init__(self):
+        if self.bandwidth_bytes_per_s <= 0:
+            raise ValueError("bus bandwidth must be positive")
+        if self.arbitration_ps < 0 or self.selection_ps < 0:
+            raise ValueError("bus overheads cannot be negative")
+
+    @property
+    def transaction_overhead_ps(self) -> int:
+        return self.arbitration_ps + self.selection_ps
+
+
+@dataclass
+class ScsiStats:
+    transactions: int = 0
+    bytes: int = 0
+    busy_ps: int = 0
+
+
+class ScsiBus:
+    """A shared ultra-320 bus between the TCA and the disks."""
+
+    def __init__(self, env: Environment, name: str = "scsi",
+                 config: ScsiConfig = ScsiConfig()):
+        self.env = env
+        self.name = name
+        self.config = config
+        self.stats = ScsiStats()
+        self._bus = Resource(env, capacity=1)
+
+    def transaction(self, nbytes: int):
+        """One bus transaction moving ``nbytes``."""
+        if nbytes < 0:
+            raise ValueError(f"negative transaction size {nbytes}")
+        grant = self._bus.request()
+        yield grant
+        try:
+            duration = (self.config.transaction_overhead_ps
+                        + transfer_ps(nbytes, self.config.bandwidth_bytes_per_s))
+            self.stats.transactions += 1
+            self.stats.bytes += nbytes
+            self.stats.busy_ps += duration
+            yield self.env.timeout(duration)
+        finally:
+            self._bus.release(grant)
+
+    def occupancy_ps(self, nbytes: int) -> int:
+        """Analytic cost of one transaction (no contention)."""
+        return (self.config.transaction_overhead_ps
+                + transfer_ps(nbytes, self.config.bandwidth_bytes_per_s))
+
+    def __repr__(self) -> str:
+        return f"<ScsiBus {self.name}: {self.stats.transactions} transactions>"

@@ -1,0 +1,45 @@
+"""Target channel adapter: the storage node's network interface.
+
+The TCA bridges the SCSI bus to the SAN: it accepts read/write requests
+from the fabric, drives the disks over SCSI, and streams the data back
+as MTU packets.  Unlike the HCA it has no host CPU to charge — its
+per-request processing is fixed firmware time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..net.hca import ChannelAdapter, HcaConfig
+from ..sim.core import Environment
+from ..sim.units import us
+
+
+@dataclass(frozen=True)
+class TcaConfig:
+    """Firmware costs of the target adapter."""
+
+    #: Request parsing + SCSI command setup.
+    request_processing_ps: int = us(2.0)
+    #: Per-packet segmentation cost when streaming data out.
+    per_packet_ps: int = us(0.05)
+
+    def __post_init__(self):
+        if self.request_processing_ps < 0 or self.per_packet_ps < 0:
+            raise ValueError("TCA costs cannot be negative")
+
+
+class TCA(ChannelAdapter):
+    """Storage-side adapter."""
+
+    def __init__(self, env: Environment, node_id: str,
+                 config: TcaConfig = TcaConfig()):
+        # The generic adapter machinery reuses HcaConfig for packet costs.
+        super().__init__(env, node_id,
+                         HcaConfig(send_overhead_ps=0, recv_poll_ps=0,
+                                   per_packet_ps=config.per_packet_ps))
+        self.tca_config = config
+
+    def process_request(self):
+        """Firmware time to accept and decode one I/O request."""
+        yield self.env.timeout(self.tca_config.request_processing_ps)

@@ -1,0 +1,28 @@
+"""Memory subsystem: caches, TLBs, RDRAM, and the stall-time hierarchy."""
+
+from .cache import AccessResult, Cache, CacheConfig, CacheStats
+from .hierarchy import (
+    HierarchyTiming,
+    MemoryHierarchy,
+    build_host_hierarchy,
+    build_switch_hierarchy,
+)
+from .rdram import Rdram, RdramConfig, RdramStats
+from .tlb import TLB, TLBConfig, TLBStats
+
+__all__ = [
+    "AccessResult",
+    "Cache",
+    "CacheConfig",
+    "CacheStats",
+    "HierarchyTiming",
+    "MemoryHierarchy",
+    "build_host_hierarchy",
+    "build_switch_hierarchy",
+    "Rdram",
+    "RdramConfig",
+    "RdramStats",
+    "TLB",
+    "TLBConfig",
+    "TLBStats",
+]

@@ -1,0 +1,150 @@
+"""Set-associative cache model.
+
+A functional (non-timed) cache: :meth:`Cache.access` updates tag state
+and reports hit/miss/writeback.  Timing is assigned by
+:class:`repro.mem.hierarchy.MemoryHierarchy`, which layers latencies on
+top of the hit/miss outcomes.
+
+The model is write-back / write-allocate with true LRU replacement, which
+matches the level of detail the paper reports (it quotes only sizes,
+associativities and line sizes).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class CacheConfig:
+    """Geometry of one cache level."""
+
+    name: str
+    size_bytes: int
+    line_size: int
+    assoc: int
+
+    def __post_init__(self):
+        if self.size_bytes <= 0 or self.line_size <= 0 or self.assoc <= 0:
+            raise ValueError(f"cache parameters must be positive: {self}")
+        if self.size_bytes % (self.line_size * self.assoc):
+            raise ValueError(
+                f"{self.name}: size {self.size_bytes} not divisible by "
+                f"line_size*assoc = {self.line_size * self.assoc}")
+        if self.line_size & (self.line_size - 1):
+            raise ValueError(f"{self.name}: line size must be a power of two")
+
+    @property
+    def num_sets(self) -> int:
+        return self.size_bytes // (self.line_size * self.assoc)
+
+
+@dataclass
+class CacheStats:
+    """Access counters for one cache."""
+
+    accesses: int = 0
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    writebacks: int = 0
+
+    @property
+    def miss_rate(self) -> float:
+        return self.misses / self.accesses if self.accesses else 0.0
+
+    def reset(self) -> None:
+        self.accesses = self.hits = self.misses = 0
+        self.evictions = self.writebacks = 0
+
+
+@dataclass
+class AccessResult:
+    """Outcome of a single cache access."""
+
+    hit: bool
+    writeback: bool = False
+    evicted_tag: int = field(default=-1)
+
+
+class Cache:
+    """One level of write-back, write-allocate, LRU set-associative cache."""
+
+    def __init__(self, config: CacheConfig):
+        self.config = config
+        self.stats = CacheStats()
+        num_sets = config.num_sets
+        if num_sets & (num_sets - 1):
+            raise ValueError(f"{config.name}: number of sets must be a power of two")
+        self._set_mask = num_sets - 1
+        self._line_shift = config.line_size.bit_length() - 1
+        # Per set: parallel lists of tags (most recent last) and dirty bits.
+        self._tags = [[] for _ in range(num_sets)]
+        self._dirty = [[] for _ in range(num_sets)]
+
+    def _locate(self, addr: int):
+        line = addr >> self._line_shift
+        return line & self._set_mask, line >> (self._set_mask.bit_length())
+
+    def access(self, addr: int, write: bool = False) -> AccessResult:
+        """Access ``addr``; returns hit/miss and any writeback triggered."""
+        set_index, tag = self._locate(addr)
+        tags = self._tags[set_index]
+        dirty = self._dirty[set_index]
+        self.stats.accesses += 1
+        try:
+            way = tags.index(tag)
+        except ValueError:
+            way = -1
+        if way >= 0:
+            self.stats.hits += 1
+            # Move to MRU position.
+            tags.append(tags.pop(way))
+            dirty_bit = dirty.pop(way)
+            dirty.append(dirty_bit or write)
+            return AccessResult(hit=True)
+
+        self.stats.misses += 1
+        writeback = False
+        evicted_tag = -1
+        if len(tags) >= self.config.assoc:
+            evicted_tag = tags.pop(0)
+            was_dirty = dirty.pop(0)
+            self.stats.evictions += 1
+            if was_dirty:
+                self.stats.writebacks += 1
+                writeback = True
+        tags.append(tag)
+        dirty.append(write)
+        return AccessResult(hit=False, writeback=writeback, evicted_tag=evicted_tag)
+
+    def contains(self, addr: int) -> bool:
+        """True if the line holding ``addr`` is resident (no state change)."""
+        set_index, tag = self._locate(addr)
+        return tag in self._tags[set_index]
+
+    def touch_range(self, addr: int, nbytes: int, write: bool = False) -> int:
+        """Access every line in ``[addr, addr+nbytes)``; returns miss count."""
+        if nbytes <= 0:
+            return 0
+        line = self.config.line_size
+        first = addr - (addr % line)
+        misses = 0
+        for line_addr in range(first, addr + nbytes, line):
+            if not self.access(line_addr, write=write).hit:
+                misses += 1
+        return misses
+
+    def flush(self) -> int:
+        """Invalidate everything; returns the number of dirty lines dropped."""
+        dirty_count = sum(sum(1 for d in bits if d) for bits in self._dirty)
+        for tags in self._tags:
+            tags.clear()
+        for bits in self._dirty:
+            bits.clear()
+        return dirty_count
+
+    def __repr__(self) -> str:
+        c = self.config
+        return (f"<Cache {c.name}: {c.size_bytes} B, {c.assoc}-way, "
+                f"{c.line_size} B lines, miss rate {self.stats.miss_rate:.3f}>")

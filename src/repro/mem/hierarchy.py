@@ -1,0 +1,243 @@
+"""Cache/TLB/memory hierarchy that turns address streams into stall time.
+
+The hierarchy is a *functional* model: each ``load`` / ``store`` /
+``ifetch`` walks the cache levels, updates their state, and returns the
+stall time in picoseconds.  The CPU models accumulate those stalls into
+the "cache stall" component of the paper's execution-time breakdowns.
+
+Stall semantics follow Section 4 of the paper:
+
+* a load miss stalls the processor until the first double-word returns;
+* store (and prefetch) misses do not stall unless too many references
+  are outstanding — we approximate this with a configurable overlap
+  factor applied to store-miss latency;
+* TLB misses cost a page-table walk whose references go *through the
+  cache hierarchy* (the "cache effects of TLB misses").
+
+The embedded switch processor uses the same machinery with no L2 and no
+overlap (its caches support only one outstanding request).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..sim.units import Clock
+from .cache import Cache, CacheConfig
+from .rdram import Rdram, RdramConfig
+from .tlb import TLB, TLBConfig
+
+
+@dataclass(frozen=True)
+class HierarchyTiming:
+    """Latency knobs for a cache hierarchy, in CPU cycles."""
+
+    #: Extra stall for an L1 miss that hits in L2.
+    l2_hit_stall_cycles: int = 10
+    #: Fraction of a store-miss latency actually charged as stall
+    #: (models the 4-outstanding-miss overlap window; 1.0 = blocking).
+    store_overlap_factor: float = 0.25
+    #: Memory references performed by a page-table walk on a TLB miss.
+    tlb_walk_refs: int = 2
+    #: Fixed TLB-miss handler overhead in cycles (trap + refill).
+    tlb_refill_cycles: int = 20
+
+
+class MemoryHierarchy:
+    """L1 (+ optional L2) + TLB in front of an RDRAM memory."""
+
+    #: Synthetic address region used for page-table walk references.
+    _PAGE_TABLE_BASE = 0x7000_0000
+
+    def __init__(
+        self,
+        l1d: Cache,
+        l1i: Cache,
+        memory: Rdram,
+        clock: Clock,
+        l2: Optional[Cache] = None,
+        dtlb: Optional[TLB] = None,
+        itlb: Optional[TLB] = None,
+        timing: HierarchyTiming = HierarchyTiming(),
+    ):
+        self.l1d = l1d
+        self.l1i = l1i
+        self.l2 = l2
+        self.dtlb = dtlb
+        self.itlb = itlb
+        self.memory = memory
+        self.clock = clock
+        self.timing = timing
+        #: Accumulated stall picoseconds, by cause.
+        self.load_stall_ps = 0
+        self.store_stall_ps = 0
+        self.ifetch_stall_ps = 0
+        self.tlb_stall_ps = 0
+
+    # ------------------------------------------------------------------
+    # Internal walk
+    # ------------------------------------------------------------------
+    def _fill(self, l1: Cache, addr: int, write: bool) -> int:
+        """Stall ps for an access through ``l1`` (data or instruction)."""
+        result = l1.access(addr, write=write)
+        if result.hit:
+            return 0
+        line = l1.config.line_size
+        if self.l2 is not None:
+            l2_result = self.l2.access(addr, write=write)
+            if l2_result.writeback:
+                # Write-back to memory happens off the critical path.
+                self.memory.stream(self.l2.config.line_size)
+            if l2_result.hit:
+                return self.clock.cycles(self.timing.l2_hit_stall_cycles)
+        # Miss to memory: stall until the first double-word arrives.
+        return self.memory.access(addr, nbytes=line)
+
+    def _translate(self, tlb: Optional[TLB], addr: int) -> int:
+        """Stall ps for address translation (0 on TLB hit)."""
+        if tlb is None or tlb.access(addr):
+            return 0
+        stall = self.clock.cycles(self.timing.tlb_refill_cycles)
+        page = addr >> (tlb.config.page_size.bit_length() - 1)
+        for ref in range(self.timing.tlb_walk_refs):
+            walk_addr = self._PAGE_TABLE_BASE + (page + ref) * 8
+            stall += self._fill(self.l1d, walk_addr, write=False)
+        return stall
+
+    # ------------------------------------------------------------------
+    # Public access points
+    # ------------------------------------------------------------------
+    def load(self, addr: int) -> int:
+        """Data load; returns stall picoseconds."""
+        tlb_stall = self._translate(self.dtlb, addr)
+        self.tlb_stall_ps += tlb_stall
+        stall = self._fill(self.l1d, addr, write=False)
+        self.load_stall_ps += stall
+        return tlb_stall + stall
+
+    def store(self, addr: int) -> int:
+        """Data store; partially overlapped per the paper's miss window."""
+        tlb_stall = self._translate(self.dtlb, addr)
+        self.tlb_stall_ps += tlb_stall
+        stall = round(self._fill(self.l1d, addr, write=True)
+                      * self.timing.store_overlap_factor)
+        self.store_stall_ps += stall
+        return tlb_stall + stall
+
+    def prefetch(self, addr: int) -> None:
+        """Software prefetch: warms the caches, never stalls."""
+        if self.dtlb is not None:
+            self.dtlb.access(addr)
+        self._fill(self.l1d, addr, write=False)
+
+    def ifetch(self, addr: int) -> int:
+        """Instruction fetch; returns stall picoseconds."""
+        tlb_stall = self._translate(self.itlb, addr)
+        self.tlb_stall_ps += tlb_stall
+        stall = self._fill(self.l1i, addr, write=False)
+        self.ifetch_stall_ps += stall
+        return tlb_stall + stall
+
+    def load_range(self, addr: int, nbytes: int) -> int:
+        """Sequential loads touching every line of a byte range."""
+        line = self.l1d.config.line_size
+        stall = 0
+        first = addr - (addr % line)
+        for line_addr in range(first, addr + nbytes, line):
+            stall += self.load(line_addr)
+        return stall
+
+    def store_range(self, addr: int, nbytes: int) -> int:
+        """Sequential stores touching every line of a byte range."""
+        line = self.l1d.config.line_size
+        stall = 0
+        first = addr - (addr % line)
+        for line_addr in range(first, addr + nbytes, line):
+            stall += self.store(line_addr)
+        return stall
+
+    @property
+    def total_stall_ps(self) -> int:
+        """All stall time charged so far."""
+        return (self.load_stall_ps + self.store_stall_ps
+                + self.ifetch_stall_ps + self.tlb_stall_ps)
+
+    def reset_stats(self) -> None:
+        """Zero all counters (cache contents are preserved)."""
+        self.load_stall_ps = self.store_stall_ps = 0
+        self.ifetch_stall_ps = self.tlb_stall_ps = 0
+        for cache in (self.l1d, self.l1i, self.l2):
+            if cache is not None:
+                cache.stats.reset()
+        for tlb in (self.dtlb, self.itlb):
+            if tlb is not None:
+                tlb.stats.reset()
+        self.memory.stats.reset()
+
+
+# ----------------------------------------------------------------------
+# Builders for the paper's two hierarchies
+# ----------------------------------------------------------------------
+def build_host_hierarchy(
+    clock: Clock,
+    scaled_for_database: bool = False,
+    memory: Optional[Rdram] = None,
+    timing: HierarchyTiming = HierarchyTiming(),
+    extra_scale_divisor: int = 1,
+) -> MemoryHierarchy:
+    """The paper's host hierarchy.
+
+    32 KB 2-way L1 I/D + 512 KB 2-way L2 with 128 B lines; for the
+    database applications (HashJoin, Select) the caches are scaled down
+    by 8x: 8 KB L1 data and 64 KB L2 ("keeping the same line sizes and
+    associativities").
+
+    ``extra_scale_divisor`` applies the same methodology one step
+    further: when an experiment's *input* is scaled down by N for
+    simulation speed, dividing the cache sizes by N preserves the
+    capacity-miss behaviour (exactly how the paper ran 16 MB/128 MB
+    tables to model 128 MB/1 GB ones).
+    """
+    divisor = extra_scale_divisor
+    if divisor < 1 or divisor & (divisor - 1):
+        raise ValueError(f"cache scale divisor must be a power of two, got {divisor}")
+    if scaled_for_database:
+        l1d = Cache(CacheConfig("host-L1D", 8 * 1024 // divisor, 32, 2))
+        l2 = Cache(CacheConfig("host-L2", 64 * 1024 // divisor, 128, 2))
+    else:
+        l1d = Cache(CacheConfig("host-L1D", 32 * 1024 // divisor, 32, 2))
+        l2 = Cache(CacheConfig("host-L2", 512 * 1024 // divisor, 128, 2))
+    l1i = Cache(CacheConfig("host-L1I", 32 * 1024, 32, 2))
+    return MemoryHierarchy(
+        l1d=l1d,
+        l1i=l1i,
+        l2=l2,
+        dtlb=TLB(TLBConfig("host-DTLB", entries=64)),
+        itlb=TLB(TLBConfig("host-ITLB", entries=64)),
+        memory=memory if memory is not None else Rdram(RdramConfig()),
+        clock=clock,
+        timing=timing,
+    )
+
+
+def build_switch_hierarchy(
+    clock: Clock,
+    memory: Optional[Rdram] = None,
+) -> MemoryHierarchy:
+    """The embedded switch CPU hierarchy.
+
+    4 KB 2-way I-cache with 64 B lines, 1 KB 2-way D-cache with 32 B
+    lines, no L2, one outstanding request (so stores block fully).
+    """
+    timing = HierarchyTiming(store_overlap_factor=1.0, l2_hit_stall_cycles=0)
+    return MemoryHierarchy(
+        l1d=Cache(CacheConfig("switch-L1D", 1024, 32, 2)),
+        l1i=Cache(CacheConfig("switch-L1I", 4096, 64, 2)),
+        l2=None,
+        dtlb=None,
+        itlb=None,
+        memory=memory if memory is not None else Rdram(RdramConfig()),
+        clock=clock,
+        timing=timing,
+    )

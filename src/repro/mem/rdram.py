@@ -1,0 +1,90 @@
+"""RDRAM main-memory model.
+
+The paper: "Our simulator accurately models an RDRAM memory system for
+both the host and switch.  The maximum bandwidth of both systems is
+1.6 GB/s.  The latency of a page hit is 100ns and 122ns for a page miss."
+
+We model per-bank open pages (a page miss closes/opens the sense amps,
+hence the extra 22 ns) and account for bandwidth when bulk data streams
+through memory (I/O buffers, message payloads).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..sim.units import ns, transfer_ps
+
+
+@dataclass(frozen=True)
+class RdramConfig:
+    """Timing and geometry of the RDRAM system."""
+
+    bandwidth_bytes_per_s: float = 1.6e9
+    page_hit_ps: int = ns(100)
+    page_miss_ps: int = ns(122)
+    num_banks: int = 16
+    page_size: int = 2048
+
+    def __post_init__(self):
+        if self.bandwidth_bytes_per_s <= 0:
+            raise ValueError("memory bandwidth must be positive")
+        if self.page_miss_ps < self.page_hit_ps:
+            raise ValueError("page miss cannot be faster than page hit")
+        if self.num_banks <= 0 or self.page_size <= 0:
+            raise ValueError("banks and page size must be positive")
+
+
+@dataclass
+class RdramStats:
+    accesses: int = 0
+    page_hits: int = 0
+    page_misses: int = 0
+    bytes_transferred: int = 0
+
+    @property
+    def page_hit_rate(self) -> float:
+        return self.page_hits / self.accesses if self.accesses else 0.0
+
+    def reset(self) -> None:
+        self.accesses = self.page_hits = self.page_misses = 0
+        self.bytes_transferred = 0
+
+
+class Rdram:
+    """Open-page RDRAM: returns latency in picoseconds per access."""
+
+    def __init__(self, config: RdramConfig = RdramConfig()):
+        self.config = config
+        self.stats = RdramStats()
+        self._open_pages = [-1] * config.num_banks
+        self._page_shift = config.page_size.bit_length() - 1
+
+    def access(self, addr: int, nbytes: int = 128) -> int:
+        """Latency of one line fill/writeback at ``addr``."""
+        if nbytes <= 0:
+            raise ValueError(f"nbytes must be positive, got {nbytes}")
+        page = addr >> self._page_shift
+        bank = page % self.config.num_banks
+        self.stats.accesses += 1
+        self.stats.bytes_transferred += nbytes
+        if self._open_pages[bank] == page:
+            self.stats.page_hits += 1
+            latency = self.config.page_hit_ps
+        else:
+            self.stats.page_misses += 1
+            self._open_pages[bank] = page
+            latency = self.config.page_miss_ps
+        # Data burst after the access latency.
+        return latency + transfer_ps(nbytes, self.config.bandwidth_bytes_per_s)
+
+    def stream(self, nbytes: int) -> int:
+        """Bandwidth-limited time for a large sequential transfer."""
+        if nbytes < 0:
+            raise ValueError(f"nbytes must be non-negative, got {nbytes}")
+        self.stats.bytes_transferred += nbytes
+        return transfer_ps(nbytes, self.config.bandwidth_bytes_per_s)
+
+    def __repr__(self) -> str:
+        return (f"<Rdram {self.config.bandwidth_bytes_per_s / 1e9:g} GB/s, "
+                f"page hit rate {self.stats.page_hit_rate:.3f}>")

@@ -1,0 +1,74 @@
+"""Fully-associative TLB model with LRU replacement.
+
+The paper's host processor has fully-associative 64-entry instruction and
+data TLBs; the simulator "accurately models the latency and cache effects
+of TLB misses".  We model the hit/miss behaviour here and let the
+hierarchy charge the page-walk latency (which itself goes through the
+cache model, giving the "cache effects").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class TLBConfig:
+    """Geometry of a fully-associative TLB."""
+
+    name: str
+    entries: int = 64
+    page_size: int = 4096
+
+    def __post_init__(self):
+        if self.entries <= 0:
+            raise ValueError(f"{self.name}: entries must be positive")
+        if self.page_size <= 0 or self.page_size & (self.page_size - 1):
+            raise ValueError(f"{self.name}: page size must be a positive power of two")
+
+
+@dataclass
+class TLBStats:
+    accesses: int = 0
+    misses: int = 0
+
+    @property
+    def miss_rate(self) -> float:
+        return self.misses / self.accesses if self.accesses else 0.0
+
+    def reset(self) -> None:
+        self.accesses = self.misses = 0
+
+
+class TLB:
+    """Fully-associative, LRU translation lookaside buffer."""
+
+    def __init__(self, config: TLBConfig):
+        self.config = config
+        self.stats = TLBStats()
+        self._page_shift = config.page_size.bit_length() - 1
+        self._pages: list = []
+
+    def access(self, addr: int) -> bool:
+        """Translate ``addr``; returns True on hit."""
+        page = addr >> self._page_shift
+        pages = self._pages
+        self.stats.accesses += 1
+        try:
+            index = pages.index(page)
+        except ValueError:
+            self.stats.misses += 1
+            if len(pages) >= self.config.entries:
+                pages.pop(0)
+            pages.append(page)
+            return False
+        pages.append(pages.pop(index))
+        return True
+
+    def flush(self) -> None:
+        """Invalidate all entries."""
+        self._pages.clear()
+
+    def __repr__(self) -> str:
+        c = self.config
+        return f"<TLB {c.name}: {c.entries} entries, miss rate {self.stats.miss_rate:.4f}>"

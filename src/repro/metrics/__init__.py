@@ -1,0 +1,29 @@
+"""Result containers and figure-style reporting."""
+
+from .report import (
+    bar_chart,
+    breakdown_table,
+    comparison_table,
+    performance_bars,
+    performance_table,
+    render_table,
+)
+from .export import benchmark_result_rows, benchmark_result_to_csv, rows_to_csv
+from .results import BenchmarkResult, CaseResult
+from .sampling import BusyTracker, TimeWeighted
+
+__all__ = [
+    "BenchmarkResult",
+    "CaseResult",
+    "BusyTracker",
+    "benchmark_result_rows",
+    "benchmark_result_to_csv",
+    "rows_to_csv",
+    "TimeWeighted",
+    "bar_chart",
+    "breakdown_table",
+    "comparison_table",
+    "performance_bars",
+    "performance_table",
+    "render_table",
+]

@@ -1,0 +1,80 @@
+"""CSV export for results and sweep rows.
+
+The benchmark harness prints human tables; downstream analysis
+(plotting the figures, tracking regressions over time) wants flat
+files.  ``benchmark_result_to_csv`` flattens a four-configuration
+result; ``rows_to_csv`` handles the sweep-style list-of-dicts the
+reduction and ablation experiments return.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from typing import Iterable, Mapping, Optional
+
+from .results import BenchmarkResult
+
+#: Column order for four-configuration exports.
+_CASE_FIELDS = (
+    "benchmark", "case", "exec_ps", "normalized_time", "host_utilization",
+    "normalized_traffic", "host_busy_frac", "host_stall_frac",
+    "host_idle_frac", "host_bytes_in", "host_bytes_out",
+    "switch_busy_frac", "switch_stall_frac",
+)
+
+
+def benchmark_result_rows(result: BenchmarkResult):
+    """Flatten a BenchmarkResult into one dict per configuration."""
+    for label, case in result.cases.items():
+        switch = case.switch_cpus[0] if case.switch_cpus else None
+        yield {
+            "benchmark": result.name,
+            "case": label,
+            "exec_ps": case.exec_ps,
+            "normalized_time": result.normalized_time(label),
+            "host_utilization": result.utilization(label),
+            "normalized_traffic": result.normalized_traffic(label),
+            "host_busy_frac": case.host.busy_frac,
+            "host_stall_frac": case.host.stall_frac,
+            "host_idle_frac": case.host.idle_frac,
+            "host_bytes_in": case.host_bytes_in,
+            "host_bytes_out": case.host_bytes_out,
+            "switch_busy_frac": switch.busy_frac if switch else "",
+            "switch_stall_frac": switch.stall_frac if switch else "",
+        }
+
+
+def benchmark_result_to_csv(result: BenchmarkResult,
+                            path: Optional[str] = None) -> str:
+    """Write (or return) the result as CSV."""
+    buffer = io.StringIO()
+    writer = csv.DictWriter(buffer, fieldnames=_CASE_FIELDS)
+    writer.writeheader()
+    for row in benchmark_result_rows(result):
+        writer.writerow(row)
+    text = buffer.getvalue()
+    if path is not None:
+        with open(path, "w", newline="") as handle:
+            handle.write(text)
+    return text
+
+
+def rows_to_csv(rows: Iterable[Mapping], path: Optional[str] = None) -> str:
+    """Write (or return) sweep-style rows (list of dicts) as CSV."""
+    rows = list(rows)
+    if not rows:
+        raise ValueError("no rows to export")
+    fieldnames = list(rows[0])
+    for row in rows:
+        if list(row) != fieldnames:
+            raise ValueError("rows have inconsistent columns")
+    buffer = io.StringIO()
+    writer = csv.DictWriter(buffer, fieldnames=fieldnames)
+    writer.writeheader()
+    writer.writerows(rows)
+    text = buffer.getvalue()
+    if path is not None:
+        with open(path, "w", newline="") as handle:
+            handle.write(text)
+    return text

@@ -1,0 +1,122 @@
+"""Text rendering of the paper's figures.
+
+``performance_table`` renders the Figure 3/5/7/9/11/13 style bars
+(normalized execution time, host utilization, normalized host traffic)
+and ``breakdown_table`` the Figure 4/6/8/10/12/14 style execution-time
+breakdowns, as aligned text tables suitable for the benchmark harness
+output and EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from ..sim.units import ps_to_ms
+from .results import BenchmarkResult
+
+#: The paper's presentation order (kept local: metrics must not depend
+#: on the cluster layer, which itself uses these reports).
+CASE_ORDER = ("normal", "normal+pref", "active", "active+pref")
+
+
+def _format_row(cells: Sequence[str], widths: Sequence[int]) -> str:
+    return "  ".join(cell.rjust(width) for cell, width in zip(cells, widths))
+
+
+def render_table(headers: Sequence[str], rows: Iterable[Sequence[str]]) -> str:
+    """Align ``rows`` under ``headers``."""
+    rows = [list(map(str, row)) for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = [_format_row(headers, widths),
+             _format_row(["-" * w for w in widths], widths)]
+    lines.extend(_format_row(row, widths) for row in rows)
+    return "\n".join(lines)
+
+
+def performance_table(result: BenchmarkResult) -> str:
+    """The three normalized metrics for each configuration."""
+    rows = []
+    for label in CASE_ORDER:
+        if label not in result.cases:
+            continue
+        case = result.cases[label]
+        rows.append([
+            label,
+            f"{result.normalized_time(label):.3f}",
+            f"{result.utilization(label):.3f}",
+            f"{result.normalized_traffic(label):.3f}",
+            f"{ps_to_ms(case.exec_ps):.2f}",
+        ])
+    return (f"{result.name}: performance (Figure style)\n"
+            + render_table(
+                ["case", "norm. time", "host util", "norm. traffic",
+                 "exec (ms)"], rows))
+
+
+def breakdown_table(result: BenchmarkResult) -> str:
+    """Execution-time breakdown rows for each processor."""
+    rows = []
+    for label in CASE_ORDER:
+        if label not in result.cases:
+            continue
+        for row_label, breakdown in result.cases[label].breakdown_rows():
+            rows.append([
+                row_label,
+                f"{breakdown.busy_frac:.1%}",
+                f"{breakdown.stall_frac:.1%}",
+                f"{breakdown.idle_frac:.1%}",
+            ])
+    return (f"{result.name}: execution-time breakdown (Figure style)\n"
+            + render_table(["cpu", "busy", "cache stall", "idle"], rows))
+
+
+def comparison_table(name: str,
+                     rows: Iterable[Tuple[str, float, Optional[float]]]) -> str:
+    """Paper-vs-measured comparison (for EXPERIMENTS.md)."""
+    formatted: List[List[str]] = []
+    for label, measured, paper in rows:
+        formatted.append([
+            label,
+            f"{measured:.3f}",
+            "-" if paper is None else f"{paper:.3f}",
+        ])
+    return f"{name}: paper vs measured\n" + render_table(
+        ["metric", "measured", "paper"], formatted)
+
+
+def bar_chart(title: str, rows: Sequence[Tuple[str, float]],
+              width: int = 40, ceiling: Optional[float] = None) -> str:
+    """Horizontal ASCII bars — the shape of the paper's figures.
+
+    ``rows`` are (label, value) pairs; bars scale so the largest value
+    (or ``ceiling``) spans ``width`` characters.
+    """
+    if width < 1:
+        raise ValueError("width must be positive")
+    values = [value for _, value in rows]
+    top = ceiling if ceiling is not None else (max(values) if values else 1.0)
+    top = top or 1.0
+    label_width = max((len(label) for label, _ in rows), default=0)
+    lines = [title]
+    for label, value in rows:
+        filled = int(round(min(value, top) / top * width))
+        bar = "#" * filled + ("" if filled else "|")
+        lines.append(f"{label:>{label_width}}  {bar} {value:.3f}")
+    return "\n".join(lines)
+
+
+def performance_bars(result: BenchmarkResult) -> str:
+    """The three figure metrics as bar groups (Figure 3/5/7... style)."""
+    sections = []
+    for metric, getter in (
+            ("execution time (normalized)", result.normalized_time),
+            ("host utilization", result.utilization),
+            ("host I/O traffic (normalized)", result.normalized_traffic)):
+        rows = [(label, getter(label)) for label in CASE_ORDER
+                if label in result.cases]
+        sections.append(bar_chart(f"{result.name}: {metric}", rows,
+                                  ceiling=max(1.0, max(v for _, v in rows))))
+    return "\n\n".join(sections)

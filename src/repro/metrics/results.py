@@ -1,0 +1,115 @@
+"""Result containers for the four-configuration experiments.
+
+Every figure pair in the paper reports, per configuration:
+
+* overall execution time normalized to "normal";
+* host processor utilization ``(1 - idle/exec)``;
+* host I/O traffic normalized to "normal";
+
+plus an execution-time breakdown (CPU busy / cache stall / idle) for the
+host ("n-HP", "n+p-HP", "a-HP", "a+p-HP") and the switch CPU ("a-SP",
+"a+p-SP").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from ..cpu.accounting import Breakdown
+
+#: Breakdown labels used in the paper's figures.
+_BREAKDOWN_PREFIX = {
+    "normal": "n",
+    "normal+pref": "n+p",
+    "active": "a",
+    "active+pref": "a+p",
+}
+
+
+@dataclass
+class CaseResult:
+    """Everything measured for one configuration of one benchmark."""
+
+    label: str
+    exec_ps: int
+    host: Breakdown
+    switch_cpus: List[Breakdown] = field(default_factory=list)
+    host_bytes_in: int = 0
+    host_bytes_out: int = 0
+    extra: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def host_traffic_bytes(self) -> int:
+        """Total data in/out of the host (the paper's traffic metric)."""
+        return self.host_bytes_in + self.host_bytes_out
+
+    @property
+    def host_utilization(self) -> float:
+        return self.host.utilization
+
+    @property
+    def prefix(self) -> str:
+        return _BREAKDOWN_PREFIX.get(self.label, self.label)
+
+    def breakdown_rows(self):
+        """(label, breakdown) rows this case contributes to a figure."""
+        rows = [(f"{self.prefix}-HP", self.host)]
+        for breakdown in self.switch_cpus:
+            rows.append((f"{self.prefix}-SP", breakdown))
+        return rows
+
+
+@dataclass
+class BenchmarkResult:
+    """All four configurations of one benchmark."""
+
+    name: str
+    cases: Dict[str, CaseResult]
+
+    def case(self, label: str) -> CaseResult:
+        return self.cases[label]
+
+    # ------------------------------------------------------------------
+    # The paper's three normalized metrics
+    # ------------------------------------------------------------------
+    def normalized_time(self, label: str) -> float:
+        """Execution time relative to the "normal" case."""
+        return self.cases[label].exec_ps / self.cases["normal"].exec_ps
+
+    def utilization(self, label: str) -> float:
+        return self.cases[label].host_utilization
+
+    def normalized_traffic(self, label: str) -> float:
+        base = self.cases["normal"].host_traffic_bytes
+        if base == 0:
+            return 0.0
+        return self.cases[label].host_traffic_bytes / base
+
+    # ------------------------------------------------------------------
+    # Derived speedups as quoted in the paper's prose
+    # ------------------------------------------------------------------
+    def speedup(self, over: str, of: str) -> float:
+        """How many times faster ``of`` is than ``over``."""
+        return self.cases[over].exec_ps / self.cases[of].exec_ps
+
+    @property
+    def active_speedup(self) -> float:
+        """active vs normal (both synchronous)."""
+        return self.speedup("normal", "active")
+
+    @property
+    def active_pref_speedup(self) -> float:
+        """active+pref vs normal+pref."""
+        return self.speedup("normal+pref", "active+pref")
+
+    def summary(self) -> Dict[str, Dict[str, float]]:
+        """The three figure metrics for every case."""
+        return {
+            label: {
+                "normalized_time": self.normalized_time(label),
+                "host_utilization": self.utilization(label),
+                "normalized_traffic": self.normalized_traffic(label),
+            }
+            for label in self.cases
+        }

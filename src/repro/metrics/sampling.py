@@ -1,0 +1,101 @@
+"""Time-weighted statistics for simulation quantities.
+
+Utilization, queue depth, and level metrics need *time-weighted*
+averages (a queue that is empty for 9 ms and holds 10 items for 1 ms
+averages 1.0, not 5.0).  :class:`TimeWeighted` integrates a piecewise-
+constant signal; :class:`BusyTracker` specialises it for busy/idle
+signals and reports utilization.
+
+These are pull-free: components call :meth:`TimeWeighted.set` when the
+value changes; nothing polls.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+
+class TimeWeighted:
+    """Integrates a piecewise-constant value over simulated time."""
+
+    def __init__(self, env, initial: float = 0.0):
+        self.env = env
+        self._value = initial
+        self._start_ps = env.now
+        self._last_change_ps = env.now
+        self._integral = 0.0  # value x ps
+        self._min = initial
+        self._max = initial
+
+    @property
+    def value(self) -> float:
+        """The current value."""
+        return self._value
+
+    def set(self, value: float) -> None:
+        """Change the value from now on."""
+        now = self.env.now
+        self._integral += self._value * (now - self._last_change_ps)
+        self._last_change_ps = now
+        self._value = value
+        self._min = min(self._min, value)
+        self._max = max(self._max, value)
+
+    def add(self, delta: float) -> None:
+        """Adjust the value by ``delta`` (queue join/leave)."""
+        self.set(self._value + delta)
+
+    def mean(self, until_ps: Optional[int] = None) -> float:
+        """Time-weighted mean from creation to ``until_ps`` (default now)."""
+        end = self.env.now if until_ps is None else until_ps
+        span = end - self._start_ps
+        if span <= 0:
+            return self._value
+        # Integrate the still-open segment.
+        integral = self._integral + self._value * (end - self._last_change_ps)
+        return integral / span
+
+    @property
+    def minimum(self) -> float:
+        return self._min
+
+    @property
+    def maximum(self) -> float:
+        return self._max
+
+    def __repr__(self) -> str:
+        return f"<TimeWeighted now={self._value} mean={self.mean():.3f}>"
+
+
+class BusyTracker:
+    """Binary busy/idle signal with utilization reporting."""
+
+    def __init__(self, env):
+        self.env = env
+        self._signal = TimeWeighted(env, initial=0.0)
+        self._depth = 0  # nested busy sections
+
+    def enter(self) -> None:
+        """Mark the start of a busy section (nestable)."""
+        self._depth += 1
+        if self._depth == 1:
+            self._signal.set(1.0)
+
+    def exit(self) -> None:
+        """Mark the end of a busy section."""
+        if self._depth <= 0:
+            raise ValueError("exit() without matching enter()")
+        self._depth -= 1
+        if self._depth == 0:
+            self._signal.set(0.0)
+
+    @property
+    def busy(self) -> bool:
+        return self._depth > 0
+
+    def utilization(self, until_ps: Optional[int] = None) -> float:
+        """Fraction of time busy since creation."""
+        return self._signal.mean(until_ps)
+
+    def __repr__(self) -> str:
+        return f"<BusyTracker {'busy' if self.busy else 'idle'}>"

@@ -1,0 +1,34 @@
+"""System-area network: packets, links, routing, channel adapters."""
+
+from .hca import HCA, ChannelAdapter, HcaConfig, TrafficStats
+from .link import DuplexLink, Link, LinkConfig, LinkStats
+from .packet import (
+    HEADER_BYTES,
+    MAX_ADDRESS,
+    MAX_HANDLER_ID,
+    MTU,
+    ActiveHeader,
+    Message,
+    Packet,
+)
+from .routing import RoutingError, RoutingTable
+
+__all__ = [
+    "HCA",
+    "ChannelAdapter",
+    "HcaConfig",
+    "TrafficStats",
+    "DuplexLink",
+    "Link",
+    "LinkConfig",
+    "LinkStats",
+    "HEADER_BYTES",
+    "MAX_ADDRESS",
+    "MAX_HANDLER_ID",
+    "MTU",
+    "ActiveHeader",
+    "Message",
+    "Packet",
+    "RoutingError",
+    "RoutingTable",
+]

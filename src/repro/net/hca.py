@@ -1,0 +1,173 @@
+"""Host channel adapter (HCA) with a queue-pair interface.
+
+The paper's network interface is "an InfiniBand HCA connected directly
+to the memory controller" implementing "a queue pair interface with the
+user program".  Sends are user-level (no kernel crossing): the host
+builds a descriptor and rings a doorbell; receives are **polled** (the
+reduction experiments explicitly use polling, which favours the normal
+case).
+
+The HCA also keeps the *host I/O traffic* counters — total bytes in and
+out of the host — which is the third metric in every figure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from ..sim.core import Environment
+from ..sim.resources import Store
+from ..sim.units import us
+from .link import Link
+from .packet import ActiveHeader, Message, Packet
+
+
+@dataclass(frozen=True)
+class HcaConfig:
+    """Software/hardware costs of the queue-pair interface."""
+
+    #: Host busy time to post a send descriptor and ring the doorbell.
+    send_overhead_ps: int = us(1.5)
+    #: Host busy time to poll a completion and consume a message.
+    recv_poll_ps: int = us(1.0)
+    #: HCA hardware per-packet processing (DMA setup, CRC...).
+    per_packet_ps: int = us(0.1)
+    #: Receive discipline: "polling" (spin on the completion queue — the
+    #: paper's choice, which "favors the normal case") or "interrupt"
+    #: (per-message interrupt + context switch, costed below).
+    receive_mode: str = "polling"
+    #: Host busy time per interrupt-driven receive (trap, handler,
+    #: scheduler round trip).
+    interrupt_cost_ps: int = us(12)
+
+    def __post_init__(self):
+        if min(self.send_overhead_ps, self.recv_poll_ps, self.per_packet_ps,
+               self.interrupt_cost_ps) < 0:
+            raise ValueError("HCA overheads cannot be negative")
+        if self.receive_mode not in ("polling", "interrupt"):
+            raise ValueError(
+                f"unknown receive mode {self.receive_mode!r}")
+
+
+@dataclass
+class TrafficStats:
+    """Bytes crossing this adapter (the host I/O traffic metric)."""
+
+    bytes_in: int = 0
+    bytes_out: int = 0
+    messages_in: int = 0
+    messages_out: int = 0
+
+    @property
+    def total_bytes(self) -> int:
+        return self.bytes_in + self.bytes_out
+
+
+class ChannelAdapter:
+    """Base adapter: packetization, reassembly, and traffic counting."""
+
+    def __init__(self, env: Environment, node_id: str,
+                 config: HcaConfig = HcaConfig()):
+        self.env = env
+        self.node_id = node_id
+        self.config = config
+        self.traffic = TrafficStats()
+        #: Reassembled inbound messages awaiting the consumer.
+        self.recv_queue: Store = Store(env)
+        self._tx_link: Optional[Link] = None
+        self._partial: Dict[int, list] = {}
+
+    # ------------------------------------------------------------------
+    # Wiring
+    # ------------------------------------------------------------------
+    def attach(self, tx_link: Link, rx_link: Link) -> None:
+        """Connect to the fabric and start draining the receive side."""
+        self._tx_link = tx_link
+        self.env.process(self._rx_loop(rx_link), name=f"{self.node_id}-rx")
+
+    def _rx_loop(self, rx_link: Link):
+        while True:
+            packet = yield from rx_link.receive()
+            yield self.env.timeout(self.config.per_packet_ps)
+            self._accept(packet)
+
+    def _accept(self, packet: Packet) -> None:
+        self.traffic.bytes_in += packet.payload_bytes
+        parts = self._partial.setdefault(packet.message_id, [])
+        parts.append(packet)
+        if packet.last:
+            del self._partial[packet.message_id]
+            message = Message(
+                src=packet.src,
+                dst=packet.dst,
+                size_bytes=sum(p.payload_bytes for p in parts),
+                active=parts[0].active,
+                payload=parts[0].payload,
+            )
+            self.traffic.messages_in += 1
+            self.recv_queue.put(message)
+
+    # ------------------------------------------------------------------
+    # Send path (per-packet)
+    # ------------------------------------------------------------------
+    def transmit(self, message: Message):
+        """Push a message onto the wire packet by packet."""
+        if self._tx_link is None:
+            raise RuntimeError(f"{self.node_id}: adapter not attached")
+        self.traffic.bytes_out += message.size_bytes
+        self.traffic.messages_out += 1
+        for packet in message.packetize():
+            yield self.env.timeout(self.config.per_packet_ps)
+            yield from self._tx_link.send(packet)
+
+    # ------------------------------------------------------------------
+    # Bulk accounting (block-level I/O pipeline)
+    # ------------------------------------------------------------------
+    def account_bulk_in(self, nbytes: int) -> None:
+        """Record inbound bulk bytes moved by the block pipeline."""
+        self.traffic.bytes_in += nbytes
+
+    def account_bulk_out(self, nbytes: int) -> None:
+        """Record outbound bulk bytes moved by the block pipeline."""
+        self.traffic.bytes_out += nbytes
+
+    def __repr__(self) -> str:
+        return (f"<{type(self).__name__} {self.node_id}: "
+                f"in={self.traffic.bytes_in} out={self.traffic.bytes_out}>")
+
+
+class HCA(ChannelAdapter):
+    """Host-side adapter: send/receive cost the *host CPU* time.
+
+    ``send`` and ``poll_receive`` are generators meant to be driven from
+    the host application's process; they charge the host's accounting.
+    """
+
+    def __init__(self, env: Environment, node_id: str, host_cpu,
+                 config: HcaConfig = HcaConfig()):
+        super().__init__(env, node_id, config)
+        self.host_cpu = host_cpu
+
+    def send(self, dst: str, size_bytes: int,
+             active: Optional[ActiveHeader] = None, payload=None):
+        """Post a send: charges host overhead, then streams packets."""
+        yield from self.host_cpu.busy(self.config.send_overhead_ps)
+        message = Message(src=self.node_id, dst=dst, size_bytes=size_bytes,
+                          active=active, payload=payload)
+        yield from self.transmit(message)
+
+    def poll_receive(self):
+        """Receive the next message (blocks until one arrives).
+
+        Under "polling" the cost is the completion-queue poll; under
+        "interrupt" every message pays the interrupt/context-switch
+        path instead (the alternative the paper's experiments avoid
+        because it would favor the active system even more).
+        """
+        message = yield self.recv_queue.get()
+        if self.config.receive_mode == "interrupt":
+            yield from self.host_cpu.busy(self.config.interrupt_cost_ps)
+        else:
+            yield from self.host_cpu.busy(self.config.recv_poll_ps)
+        return message

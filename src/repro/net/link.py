@@ -1,0 +1,139 @@
+"""SAN links with credit-based flow control.
+
+Each link direction sustains 1 GB/s (the paper's switch supports 1 GB/s
+bidirectional per port) and uses credit-based flow control: a sender
+consumes one credit per packet and the receiver returns the credit when
+it drains the packet from the link's delivery queue.
+
+Two granularities are offered:
+
+* :meth:`Link.send` — full per-packet discrete-event transmission, used
+  for small active messages (reductions, request headers);
+* :meth:`Link.occupancy_ps` — analytic serialization time for bulk
+  streams, used by the block-level I/O pipeline where simulating every
+  one of ~250 000 MTU packets would be wasted effort (see DESIGN.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..metrics.sampling import BusyTracker
+from ..sim.core import Environment
+from ..sim.resources import Container, Resource, Store
+from ..sim.units import ns, transfer_ps
+from .packet import Packet
+
+
+@dataclass(frozen=True)
+class LinkConfig:
+    """Physical parameters of one link direction."""
+
+    bandwidth_bytes_per_s: float = 1.0e9
+    propagation_ps: int = ns(20)
+    credits: int = 8
+
+    def __post_init__(self):
+        if self.bandwidth_bytes_per_s <= 0:
+            raise ValueError("link bandwidth must be positive")
+        if self.propagation_ps < 0:
+            raise ValueError("propagation delay cannot be negative")
+        if self.credits < 1:
+            raise ValueError("need at least one credit")
+
+
+@dataclass
+class LinkStats:
+    packets: int = 0
+    bytes: int = 0
+
+
+class Link:
+    """One unidirectional link delivering packets into a FIFO."""
+
+    def __init__(self, env: Environment, name: str,
+                 config: LinkConfig = LinkConfig()):
+        self.env = env
+        self.name = name
+        self.config = config
+        self.stats = LinkStats()
+        #: Delivered packets awaiting the receiver.
+        self.delivered: Store = Store(env)
+        self._credits = Container(env, capacity=config.credits,
+                                  init=config.credits)
+        self._wire = Resource(env, capacity=1)
+        self.busy = BusyTracker(env)
+
+    # ------------------------------------------------------------------
+    # Packet-level path
+    # ------------------------------------------------------------------
+    def send(self, packet: Packet):
+        """Transmit one packet.
+
+        The generator completes once the packet has left the wire (so a
+        sender can pipeline back-to-back packets); propagation and
+        delivery continue asynchronously.
+        """
+        yield self._credits.get(1)
+        grant = self._wire.request()
+        yield grant
+        self.busy.enter()
+        try:
+            yield self.env.timeout(self.serialization_ps(packet.wire_bytes))
+        finally:
+            self.busy.exit()
+            self._wire.release(grant)
+        self.stats.packets += 1
+        self.stats.bytes += packet.wire_bytes
+        if packet.notify is not None and not packet.notify.triggered:
+            packet.notify.succeed()
+        self.env.process(self._deliver(packet), name=f"{self.name}-deliver")
+
+    def _deliver(self, packet: Packet):
+        yield self.env.timeout(self.config.propagation_ps)
+        yield self.delivered.put(packet)
+
+    def receive(self):
+        """Take the next delivered packet and return its credit."""
+        packet = yield self.delivered.get()
+        yield self._credits.put(1)
+        return packet
+
+    # ------------------------------------------------------------------
+    # Analytic path for bulk streams
+    # ------------------------------------------------------------------
+    def serialization_ps(self, nbytes: int) -> int:
+        """Wire time for ``nbytes`` at link bandwidth."""
+        return transfer_ps(nbytes, self.config.bandwidth_bytes_per_s)
+
+    def occupancy_ps(self, payload_bytes: int, mtu: int = 512,
+                     header_bytes: int = 16) -> int:
+        """Wire time for a bulk payload including per-packet headers."""
+        if payload_bytes <= 0:
+            return 0
+        packets = -(-payload_bytes // mtu)
+        return self.serialization_ps(payload_bytes + packets * header_bytes)
+
+    def acquire(self) -> Resource:
+        """The wire resource, for bulk transfers that hold the link."""
+        return self._wire
+
+    def utilization(self) -> float:
+        """Measured wire busy fraction (packet-path traffic only)."""
+        return self.busy.utilization()
+
+    def __repr__(self) -> str:
+        return (f"<Link {self.name}: {self.config.bandwidth_bytes_per_s / 1e9:g} GB/s, "
+                f"{self.stats.packets} pkts>")
+
+
+class DuplexLink:
+    """A full-duplex link: two independent directions."""
+
+    def __init__(self, env: Environment, a: str, b: str,
+                 config: LinkConfig = LinkConfig()):
+        self.a_to_b = Link(env, f"{a}->{b}", config)
+        self.b_to_a = Link(env, f"{b}->{a}", config)
+
+    def direction(self, from_a: bool) -> Link:
+        return self.a_to_b if from_a else self.b_to_a

@@ -1,0 +1,143 @@
+"""Packet and message formats for the SAN.
+
+The paper uses the InfiniBand Raw packet format with a 128-bit header.
+For active messages the header embeds a 64-bit *active header* carrying a
+6-bit handler ID, a 32-bit address field (the physical address the data
+buffer will be mapped to by the ATB), and — for multi-core switches — a
+switch-CPU ID (Section 5, "Multiple Switch Processors").
+
+The MTU is 512 bytes: larger payloads are carried by multiple packets of
+one logical :class:`Message`.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+#: Network maximum transfer unit (payload bytes per packet).
+MTU = 512
+
+#: 128-bit packet header.
+HEADER_BYTES = 16
+
+#: Handler ID field width: 6 bits -> up to 64 handlers.
+MAX_HANDLER_ID = (1 << 6) - 1
+
+#: Address field width: 32 bits.
+MAX_ADDRESS = (1 << 32) - 1
+
+_message_ids = itertools.count()
+
+
+@dataclass(frozen=True)
+class ActiveHeader:
+    """The 64-bit active portion of a packet header."""
+
+    handler_id: int
+    address: int
+    cpu_id: Optional[int] = None
+
+    def __post_init__(self):
+        if not 0 <= self.handler_id <= MAX_HANDLER_ID:
+            raise ValueError(
+                f"handler_id {self.handler_id} exceeds the 6-bit field")
+        if not 0 <= self.address <= MAX_ADDRESS:
+            raise ValueError(
+                f"address {self.address:#x} exceeds the 32-bit field")
+        if self.cpu_id is not None and not 0 <= self.cpu_id < 4:
+            raise ValueError(f"cpu_id {self.cpu_id} out of range (0-3)")
+
+
+@dataclass
+class Packet:
+    """One wire packet.
+
+    ``payload_bytes`` is the simulated size; ``payload`` optionally
+    carries real data for the functional kernels (the timing model never
+    looks inside it).
+    """
+
+    src: str
+    dst: str
+    payload_bytes: int
+    active: Optional[ActiveHeader] = None
+    payload: Any = None
+    message_id: int = field(default_factory=lambda: next(_message_ids))
+    seq: int = 0
+    last: bool = True
+    #: Total payload bytes of the logical message this packet belongs to
+    #: (carried in the header so a handler invoked by the first packet
+    #: knows the full stream length, like the paper's file_len argument).
+    message_bytes: Optional[int] = None
+    #: Optional event triggered when the packet finishes its last wire hop
+    #: (used by the send unit to recycle compose buffers).
+    notify: Any = None
+
+    def __post_init__(self):
+        if self.payload_bytes < 0:
+            raise ValueError(f"negative payload size {self.payload_bytes}")
+        if self.payload_bytes > MTU:
+            raise ValueError(
+                f"payload {self.payload_bytes} exceeds MTU {MTU}; "
+                "use Message.packetize")
+
+    @property
+    def wire_bytes(self) -> int:
+        """Bytes on the wire including the 128-bit header."""
+        return self.payload_bytes + HEADER_BYTES
+
+    @property
+    def is_active(self) -> bool:
+        """True when the packet targets a switch handler."""
+        return self.active is not None
+
+
+@dataclass
+class Message:
+    """A logical message, possibly larger than one MTU."""
+
+    src: str
+    dst: str
+    size_bytes: int
+    active: Optional[ActiveHeader] = None
+    payload: Any = None
+
+    def __post_init__(self):
+        if self.size_bytes < 0:
+            raise ValueError(f"negative message size {self.size_bytes}")
+
+    @property
+    def num_packets(self) -> int:
+        """Packets needed to carry this message."""
+        if self.size_bytes == 0:
+            return 1  # a bare header/control packet
+        return -(-self.size_bytes // MTU)
+
+    @property
+    def wire_bytes(self) -> int:
+        """Total bytes on the wire, headers included."""
+        return self.size_bytes + self.num_packets * HEADER_BYTES
+
+    def packetize(self) -> list:
+        """Split into MTU-sized :class:`Packet` objects."""
+        message_id = next(_message_ids)
+        packets = []
+        remaining = self.size_bytes
+        count = self.num_packets
+        for seq in range(count):
+            chunk = min(MTU, remaining) if remaining else 0
+            remaining -= chunk
+            packets.append(Packet(
+                src=self.src,
+                dst=self.dst,
+                payload_bytes=chunk,
+                active=self.active,
+                payload=self.payload if seq == 0 else None,
+                message_id=message_id,
+                seq=seq,
+                last=(seq == count - 1),
+                message_bytes=self.size_bytes,
+            ))
+        return packets

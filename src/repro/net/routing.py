@@ -1,0 +1,59 @@
+"""Routing tables for the SAN fabric.
+
+The paper's switch keeps an on-chip routing table mapping destinations
+to output ports, and uses virtual cut-through routing with a 100 ns
+per-switch routing latency.  We implement destination-based routing:
+each switch owns a :class:`RoutingTable` from node ID to output port.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional
+
+
+class RoutingError(Exception):
+    """Raised when a destination has no route."""
+
+
+class RoutingTable:
+    """Destination -> output-port map for one switch."""
+
+    def __init__(self, switch_name: str):
+        self.switch_name = switch_name
+        self._routes: Dict[str, int] = {}
+        self._default_port: Optional[int] = None
+
+    def add(self, destination: str, port: int) -> None:
+        """Route traffic for ``destination`` to ``port``."""
+        if port < 0:
+            raise ValueError(f"port must be non-negative, got {port}")
+        self._routes[destination] = port
+
+    def add_many(self, destinations: Iterable[str], port: int) -> None:
+        """Route several destinations out the same port (uplinks)."""
+        for destination in destinations:
+            self.add(destination, port)
+
+    def set_default(self, port: int) -> None:
+        """Fallback port for unknown destinations (e.g. the uplink)."""
+        if port < 0:
+            raise ValueError(f"port must be non-negative, got {port}")
+        self._default_port = port
+
+    def lookup(self, destination: str) -> int:
+        """Output port for ``destination``."""
+        port = self._routes.get(destination, self._default_port)
+        if port is None:
+            raise RoutingError(
+                f"{self.switch_name}: no route to {destination!r}")
+        return port
+
+    def __contains__(self, destination: str) -> bool:
+        return destination in self._routes or self._default_port is not None
+
+    def __len__(self) -> int:
+        return len(self._routes)
+
+    def __repr__(self) -> str:
+        return (f"<RoutingTable {self.switch_name}: {len(self._routes)} routes, "
+                f"default={self._default_port}>")

@@ -1,0 +1,80 @@
+"""Discrete-event simulation kernel.
+
+A minimal, dependency-free, simpy-style kernel: generator processes,
+integer-picosecond clock, stores / resources / containers, and condition
+events.  Every other subsystem in :mod:`repro` is built on this package.
+"""
+
+from .core import Environment, Infinity
+from .events import (
+    AllOf,
+    AnyOf,
+    Event,
+    Interrupt,
+    Process,
+    SimulationError,
+    StopProcess,
+    Timeout,
+)
+from .resources import Container, Request, Resource, Store
+from .trace import GLOBAL_TRACER, TraceRecord, Tracer
+from .units import (
+    GB,
+    KB,
+    MB,
+    MS,
+    NS,
+    PS,
+    SEC,
+    US,
+    Clock,
+    cycles_to_ps,
+    ms,
+    ns,
+    ps_to_ms,
+    ps_to_ns,
+    ps_to_seconds,
+    ps_to_us,
+    seconds,
+    transfer_ps,
+    us,
+)
+
+__all__ = [
+    "Environment",
+    "Infinity",
+    "AllOf",
+    "AnyOf",
+    "Event",
+    "Interrupt",
+    "Process",
+    "SimulationError",
+    "StopProcess",
+    "Timeout",
+    "Container",
+    "Request",
+    "Resource",
+    "Store",
+    "GLOBAL_TRACER",
+    "TraceRecord",
+    "Tracer",
+    "Clock",
+    "PS",
+    "NS",
+    "US",
+    "MS",
+    "SEC",
+    "KB",
+    "MB",
+    "GB",
+    "ns",
+    "us",
+    "ms",
+    "seconds",
+    "cycles_to_ps",
+    "transfer_ps",
+    "ps_to_ns",
+    "ps_to_us",
+    "ps_to_ms",
+    "ps_to_seconds",
+]

@@ -1,0 +1,138 @@
+"""The discrete-event simulation environment.
+
+:class:`Environment` owns the clock (integer picoseconds) and the event
+queue.  Processes are Python generators that yield :class:`Event`
+instances; the environment resumes them when those events fire.
+
+Example::
+
+    env = Environment()
+
+    def pinger(env):
+        yield env.timeout(100)
+        return "pong"
+
+    proc = env.process(pinger(env))
+    env.run()
+    assert proc.value == "pong"
+    assert env.now == 100
+"""
+
+from __future__ import annotations
+
+from heapq import heappop, heappush
+from itertools import count
+from typing import Any, Generator, Iterable, Optional
+
+from .events import AllOf, AnyOf, Event, Process, SimulationError, Timeout
+
+__all__ = ["Environment", "Infinity"]
+
+#: Sentinel meaning "run until the queue drains".
+Infinity = float("inf")
+
+#: Scheduling priorities: URGENT events at the same timestamp run before
+#: NORMAL ones.  Used by the kernel for resource bookkeeping.
+URGENT = 0
+NORMAL = 1
+
+
+class Environment:
+    """Execution environment for a single simulation run."""
+
+    def __init__(self, initial_time: int = 0):
+        self._now = int(initial_time)
+        self._queue: list = []
+        self._eid = count()
+        self._active_process: Optional[Process] = None
+
+    # ------------------------------------------------------------------
+    # Clock and queue
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> int:
+        """Current simulation time in picoseconds."""
+        return self._now
+
+    @property
+    def active_process(self) -> Optional[Process]:
+        """The process currently being resumed, if any."""
+        return self._active_process
+
+    def schedule(self, event: Event, delay: int = 0, priority: int = NORMAL) -> None:
+        """Queue ``event`` to be processed ``delay`` ps from now."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule event in the past (delay={delay})")
+        heappush(self._queue, (self._now + int(delay), priority, next(self._eid), event))
+
+    def peek(self) -> float:
+        """Timestamp of the next scheduled event, or ``Infinity``."""
+        return self._queue[0][0] if self._queue else Infinity
+
+    def step(self) -> None:
+        """Process the next scheduled event."""
+        try:
+            when, _, _, event = heappop(self._queue)
+        except IndexError:
+            raise SimulationError("no scheduled events") from None
+        self._now = when
+        event._process()
+
+    def run(self, until: Optional[Any] = None) -> Any:
+        """Run the simulation.
+
+        ``until`` may be ``None`` (drain the queue), an integer time, or
+        an :class:`Event` (run until it is processed, return its value).
+        """
+        if until is None:
+            while self._queue:
+                self.step()
+            return None
+
+        if isinstance(until, Event):
+            sentinel = until
+            finished = []
+            sentinel.add_callback(lambda _e: finished.append(True))
+            while self._queue and not finished:
+                self.step()
+            if not finished:
+                raise SimulationError(
+                    f"queue drained before {sentinel!r} was processed")
+            if not sentinel.ok:
+                raise sentinel.value
+            return sentinel.value
+
+        horizon = int(until)
+        if horizon < self._now:
+            raise SimulationError(
+                f"cannot run until {horizon}: already at {self._now}")
+        while self._queue and self._queue[0][0] <= horizon:
+            self.step()
+        self._now = horizon
+        return None
+
+    # ------------------------------------------------------------------
+    # Event factories
+    # ------------------------------------------------------------------
+    def event(self) -> Event:
+        """Create a new untriggered event."""
+        return Event(self)
+
+    def timeout(self, delay: int, value: Any = None) -> Timeout:
+        """An event firing ``delay`` ps from now."""
+        return Timeout(self, delay, value)
+
+    def process(self, generator: Generator, name: Optional[str] = None) -> Process:
+        """Start a new process from ``generator``."""
+        return Process(self, generator, name=name)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        """An event firing when all of ``events`` have fired."""
+        return AllOf(self, events)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        """An event firing when any of ``events`` has fired."""
+        return AnyOf(self, events)
+
+    def __repr__(self) -> str:
+        return f"<Environment t={self._now} ps, {len(self._queue)} queued>"

@@ -1,0 +1,201 @@
+"""Shared-resource primitives built on the event kernel.
+
+* :class:`Store` — FIFO queue of items with optional capacity (used for
+  switch output queues, mailbox-style message delivery).
+* :class:`Resource` — counted resource with FIFO waiters (used for switch
+  CPUs, the SCSI bus, disk arms).
+* :class:`Container` — bulk token pool (used for credit-based link flow
+  control and data-buffer accounting).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque
+
+from .core import Environment, Infinity
+from .events import Event, SimulationError
+
+__all__ = ["Store", "Resource", "Container", "Request"]
+
+
+class Store:
+    """FIFO item store. ``put`` blocks when full, ``get`` blocks when empty."""
+
+    def __init__(self, env: Environment, capacity: float = Infinity):
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self.env = env
+        self.capacity = capacity
+        self.items: Deque[Any] = deque()
+        self._putters: Deque[tuple] = deque()  # (event, item)
+        self._getters: Deque[Event] = deque()
+
+    def put(self, item: Any) -> Event:
+        """Return an event that fires once ``item`` is stored."""
+        event = Event(self.env)
+        self._putters.append((event, item))
+        self._dispatch()
+        return event
+
+    def get(self) -> Event:
+        """Return an event that fires with the next item."""
+        event = Event(self.env)
+        self._getters.append(event)
+        self._dispatch()
+        return event
+
+    def _dispatch(self) -> None:
+        progress = True
+        while progress:
+            progress = False
+            while self._putters and len(self.items) < self.capacity:
+                put_event, item = self._putters.popleft()
+                self.items.append(item)
+                put_event.succeed()
+                progress = True
+            while self._getters and self.items:
+                self._getters.popleft().succeed(self.items.popleft())
+                progress = True
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+    def __repr__(self) -> str:
+        return f"<Store {len(self.items)}/{self.capacity} items>"
+
+
+class Request(Event):
+    """A pending or granted claim on a :class:`Resource`."""
+
+    __slots__ = ("resource",)
+
+    def __init__(self, resource: "Resource"):
+        super().__init__(resource.env)
+        self.resource = resource
+
+
+class Resource:
+    """A counted resource with FIFO granting.
+
+    Usage::
+
+        req = resource.request()
+        yield req
+        try:
+            ...  # hold the resource
+        finally:
+            resource.release(req)
+    """
+
+    def __init__(self, env: Environment, capacity: int = 1):
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.env = env
+        self.capacity = capacity
+        self.users: list = []
+        self.queue: Deque[Request] = deque()
+
+    @property
+    def count(self) -> int:
+        """Number of granted requests currently held."""
+        return len(self.users)
+
+    def request(self) -> Request:
+        """Claim one unit; the returned event fires when granted."""
+        request = Request(self)
+        self.queue.append(request)
+        self._grant()
+        return request
+
+    def release(self, request: Request) -> None:
+        """Return a previously granted unit."""
+        try:
+            self.users.remove(request)
+        except ValueError:
+            raise SimulationError("releasing a request that was never granted") from None
+        self._grant()
+
+    def cancel(self, request: Request) -> None:
+        """Withdraw an ungranted request from the wait queue."""
+        try:
+            self.queue.remove(request)
+        except ValueError:
+            raise SimulationError("cancelling a request not in the queue") from None
+
+    def _grant(self) -> None:
+        while self.queue and len(self.users) < self.capacity:
+            request = self.queue.popleft()
+            self.users.append(request)
+            request.succeed(request)
+
+    def __repr__(self) -> str:
+        return f"<Resource {self.count}/{self.capacity} used, {len(self.queue)} waiting>"
+
+
+class Container:
+    """A pool of interchangeable tokens (e.g. link credits).
+
+    ``get(n)`` blocks until ``n`` tokens are available; ``put(n)`` blocks
+    until there is room.  Waiters are served FIFO, so a large ``get``
+    cannot be starved by a stream of small ones.
+    """
+
+    def __init__(self, env: Environment, capacity: float = Infinity, init: float = 0):
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        if not 0 <= init <= capacity:
+            raise ValueError(f"init must be in [0, {capacity}], got {init}")
+        self.env = env
+        self.capacity = capacity
+        self._level = init
+        self._putters: Deque[tuple] = deque()  # (event, amount)
+        self._getters: Deque[tuple] = deque()  # (event, amount)
+
+    @property
+    def level(self) -> float:
+        """Tokens currently available."""
+        return self._level
+
+    def put(self, amount: float) -> Event:
+        """Add ``amount`` tokens; fires when they fit under capacity."""
+        if amount <= 0:
+            raise ValueError(f"amount must be positive, got {amount}")
+        event = Event(self.env)
+        self._putters.append((event, amount))
+        self._dispatch()
+        return event
+
+    def get(self, amount: float) -> Event:
+        """Take ``amount`` tokens; fires when available."""
+        if amount <= 0:
+            raise ValueError(f"amount must be positive, got {amount}")
+        if amount > self.capacity:
+            raise ValueError(
+                f"requested {amount} exceeds capacity {self.capacity}")
+        event = Event(self.env)
+        self._getters.append((event, amount))
+        self._dispatch()
+        return event
+
+    def _dispatch(self) -> None:
+        progress = True
+        while progress:
+            progress = False
+            if self._putters:
+                event, amount = self._putters[0]
+                if self._level + amount <= self.capacity:
+                    self._putters.popleft()
+                    self._level += amount
+                    event.succeed()
+                    progress = True
+            if self._getters:
+                event, amount = self._getters[0]
+                if amount <= self._level:
+                    self._getters.popleft()
+                    self._level -= amount
+                    event.succeed()
+                    progress = True
+
+    def __repr__(self) -> str:
+        return f"<Container {self._level}/{self.capacity}>"

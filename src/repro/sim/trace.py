@@ -1,0 +1,103 @@
+"""Event tracing for simulation runs.
+
+A :class:`Tracer` collects timestamped records from instrumented
+components — handler dispatches, block arrivals, buffer churn — without
+perturbing timing.  Components call :meth:`Tracer.record`; analysis
+code filters and summarises afterwards.
+
+This is opt-in: nothing traces by default, and a disabled tracer's
+``record`` is a no-op, so hot paths can call it unconditionally.
+
+Example::
+
+    tracer = Tracer()
+    tracer.record(env.now, "dispatch", handler_id=3, cpu=0)
+    ...
+    dispatches = tracer.select("dispatch")
+    print(tracer.summary())
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One traced occurrence."""
+
+    time_ps: int
+    kind: str
+    details: tuple  # sorted (key, value) pairs — hashable and stable
+
+    def get(self, key: str, default=None):
+        for k, v in self.details:
+            if k == key:
+                return v
+        return default
+
+    def as_dict(self) -> Dict[str, Any]:
+        return dict(self.details)
+
+
+class Tracer:
+    """Collects trace records; can be disabled to become free."""
+
+    def __init__(self, enabled: bool = True, capacity: Optional[int] = None):
+        if capacity is not None and capacity <= 0:
+            raise ValueError("capacity must be positive when given")
+        self.enabled = enabled
+        self.capacity = capacity
+        self.records: List[TraceRecord] = []
+        self.dropped = 0
+
+    def record(self, time_ps: int, kind: str, **details) -> None:
+        """Add a record (no-op when disabled; drops oldest-first never —
+        newest records are dropped once capacity is reached, and counted)."""
+        if not self.enabled:
+            return
+        if self.capacity is not None and len(self.records) >= self.capacity:
+            self.dropped += 1
+            return
+        self.records.append(TraceRecord(
+            time_ps=time_ps, kind=kind,
+            details=tuple(sorted(details.items()))))
+
+    def select(self, kind: str) -> List[TraceRecord]:
+        """All records of one kind, in time order."""
+        return [r for r in self.records if r.kind == kind]
+
+    def count(self, kind: Optional[str] = None) -> int:
+        """Number of records (of one kind, or total)."""
+        if kind is None:
+            return len(self.records)
+        return sum(1 for r in self.records if r.kind == kind)
+
+    def span_ps(self, kind: Optional[str] = None) -> int:
+        """Time between the first and last (matching) record."""
+        matching = self.records if kind is None else self.select(kind)
+        if len(matching) < 2:
+            return 0
+        return matching[-1].time_ps - matching[0].time_ps
+
+    def summary(self) -> Dict[str, int]:
+        """Record counts by kind."""
+        return dict(Counter(r.kind for r in self.records))
+
+    def clear(self) -> None:
+        self.records.clear()
+        self.dropped = 0
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __repr__(self) -> str:
+        state = "enabled" if self.enabled else "disabled"
+        return f"<Tracer {state}: {len(self.records)} records>"
+
+
+#: A process-wide tracer components may share when no explicit tracer is
+#: wired through; disabled by default so production runs pay nothing.
+GLOBAL_TRACER = Tracer(enabled=False)

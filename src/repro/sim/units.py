@@ -1,0 +1,103 @@
+"""Time and data-size units for the simulator.
+
+The simulation clock counts integer **picoseconds**.  Integer time makes
+event ordering exact and reproducible: the 2 GHz host clock is 500 ps per
+cycle and the 500 MHz switch clock is 2000 ps per cycle, so every latency
+in the paper is an exact integer.
+"""
+
+from __future__ import annotations
+
+#: Picoseconds per unit.
+PS = 1
+NS = 1_000
+US = 1_000_000
+MS = 1_000_000_000
+SEC = 1_000_000_000_000
+
+#: Bytes per unit.
+KB = 1024
+MB = 1024 * 1024
+GB = 1024 * 1024 * 1024
+
+
+def ns(value: float) -> int:
+    """Convert nanoseconds to integer picoseconds."""
+    return round(value * NS)
+
+
+def us(value: float) -> int:
+    """Convert microseconds to integer picoseconds."""
+    return round(value * US)
+
+
+def ms(value: float) -> int:
+    """Convert milliseconds to integer picoseconds."""
+    return round(value * MS)
+
+
+def seconds(value: float) -> int:
+    """Convert seconds to integer picoseconds."""
+    return round(value * SEC)
+
+
+def ps_to_ns(value: int) -> float:
+    """Convert picoseconds to nanoseconds."""
+    return value / NS
+
+
+def ps_to_us(value: int) -> float:
+    """Convert picoseconds to microseconds."""
+    return value / US
+
+
+def ps_to_ms(value: int) -> float:
+    """Convert picoseconds to milliseconds."""
+    return value / MS
+
+
+def ps_to_seconds(value: int) -> float:
+    """Convert picoseconds to seconds."""
+    return value / SEC
+
+
+def cycles_to_ps(cycles: float, freq_hz: float) -> int:
+    """Convert a cycle count at ``freq_hz`` to integer picoseconds."""
+    return round(cycles * SEC / freq_hz)
+
+
+def transfer_ps(nbytes: float, bytes_per_sec: float) -> int:
+    """Time to move ``nbytes`` at a sustained ``bytes_per_sec`` rate."""
+    if nbytes <= 0:
+        return 0
+    return max(1, round(nbytes * SEC / bytes_per_sec))
+
+
+class Clock:
+    """A fixed-frequency clock that converts cycles to picoseconds.
+
+    >>> host = Clock(2_000_000_000)
+    >>> host.period_ps
+    500
+    >>> host.cycles(4)
+    2000
+    """
+
+    __slots__ = ("freq_hz", "period_ps")
+
+    def __init__(self, freq_hz: float):
+        if freq_hz <= 0:
+            raise ValueError(f"clock frequency must be positive, got {freq_hz}")
+        self.freq_hz = freq_hz
+        self.period_ps = round(SEC / freq_hz)
+
+    def cycles(self, count: float) -> int:
+        """Picoseconds taken by ``count`` cycles (rounded to integer ps)."""
+        return round(count * self.period_ps)
+
+    def ps_to_cycles(self, duration_ps: int) -> float:
+        """Cycles elapsed in ``duration_ps`` picoseconds."""
+        return duration_ps / self.period_ps
+
+    def __repr__(self) -> str:
+        return f"Clock({self.freq_hz / 1e6:g} MHz)"

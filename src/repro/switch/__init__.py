@@ -1,0 +1,50 @@
+"""Switch architecture: the conventional switch and the active switch."""
+
+from .atb import ATBError, AddressTranslationBuffer
+from .active import ActiveSwitch, ActiveSwitchConfig
+from .base import BaseSwitch, RoutingToSwitchError, SwitchConfig
+from .data_buffer import (
+    BUFFER_BYTES,
+    NUM_BUFFERS,
+    VALID_LINE_BYTES,
+    BufferError,
+    DataBuffer,
+    DataBufferPool,
+)
+from .dispatch import CpuScheduler, DispatchError, JumpTable
+from .handler import HandlerContext
+from .input_queued import InputQueuedConfig, InputQueuedSwitch
+from .patterns import (
+    aggregate_handler,
+    filter_handler,
+    redirect_handler,
+    stream_loop,
+)
+from .send_unit import SendUnit
+
+__all__ = [
+    "ATBError",
+    "AddressTranslationBuffer",
+    "ActiveSwitch",
+    "ActiveSwitchConfig",
+    "BaseSwitch",
+    "RoutingToSwitchError",
+    "SwitchConfig",
+    "BUFFER_BYTES",
+    "NUM_BUFFERS",
+    "VALID_LINE_BYTES",
+    "BufferError",
+    "DataBuffer",
+    "DataBufferPool",
+    "CpuScheduler",
+    "DispatchError",
+    "JumpTable",
+    "HandlerContext",
+    "InputQueuedConfig",
+    "InputQueuedSwitch",
+    "SendUnit",
+    "aggregate_handler",
+    "filter_handler",
+    "redirect_handler",
+    "stream_loop",
+]

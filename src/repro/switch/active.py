@@ -1,0 +1,216 @@
+"""The active switch — the paper's core contribution.
+
+Extends the conventional output-queued switch with the unshaded
+components of Figure 2:
+
+* 1-4 embedded :class:`SwitchCPU` cores (500 MHz, tiny I/D caches);
+* 16 x 512 B on-chip :class:`DataBuffer`\\ s with per-line valid bits,
+  managed by the DBA (:class:`DataBufferPool`);
+* a per-CPU 16-entry direct-mapped :class:`AddressTranslationBuffer`;
+* a :class:`JumpTable` + dispatch unit (:class:`CpuScheduler`) that
+  invoke handlers message-driven style from the 6-bit handler ID;
+* a :class:`SendUnit` that injects CPU-composed messages through the
+  (N+1) x N crossbar.
+
+Any packet whose destination is the switch itself is an active message:
+the crossbar steers its payload into a free data buffer (line-by-line,
+setting valid bits) while the header goes to the dispatch unit in
+parallel — so a handler can begin processing before the copy completes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..cpu.switch_cpu import SwitchCPU
+from ..net.packet import MTU, Message, Packet
+from ..sim.core import Environment
+from ..sim.trace import GLOBAL_TRACER, Tracer
+from ..sim.units import transfer_ps
+from .atb import AddressTranslationBuffer
+from .base import BaseSwitch, SwitchConfig
+from .data_buffer import DataBufferPool
+from .dispatch import CpuScheduler, DispatchError, JumpTable
+from .handler import HandlerContext
+from .send_unit import SendUnit
+
+
+@dataclass(frozen=True)
+class ActiveSwitchConfig:
+    """Parameters of the active additions ("we support up to 4 switch
+    processors per active switch")."""
+
+    num_cpus: int = 1
+    num_buffers: int = 16
+    crossbar_bandwidth_bytes_per_s: float = 1.0e9
+    #: Embedded-core clock (paper: 500 MHz, a quarter of the host's).
+    cpu_freq_hz: float = 500_000_000.0
+
+    def __post_init__(self):
+        if not 1 <= self.num_cpus <= 4:
+            raise ValueError("active switch supports 1-4 switch CPUs")
+        if self.num_buffers < 2:
+            raise ValueError("need at least 2 data buffers (one in, one out)")
+        if self.crossbar_bandwidth_bytes_per_s <= 0:
+            raise ValueError("crossbar bandwidth must be positive")
+        if self.cpu_freq_hz <= 0:
+            raise ValueError("switch CPU frequency must be positive")
+
+
+class ActiveSwitch(BaseSwitch):
+    """An 8-port active I/O switch."""
+
+    def __init__(self, env: Environment, name: str,
+                 config: SwitchConfig = SwitchConfig(),
+                 active_config: ActiveSwitchConfig = ActiveSwitchConfig(),
+                 tracer: Optional[Tracer] = None):
+        super().__init__(env, name, config)
+        self.active_config = active_config
+        self.tracer = tracer if tracer is not None else GLOBAL_TRACER
+        from ..sim.units import Clock
+        self.cpus: List[SwitchCPU] = [
+            SwitchCPU(env, cpu_id=i, name=f"{name}-cpu",
+                      clock=Clock(active_config.cpu_freq_hz))
+            for i in range(active_config.num_cpus)
+        ]
+        self._atbs: Dict[int, AddressTranslationBuffer] = {
+            cpu.cpu_id: AddressTranslationBuffer() for cpu in self.cpus
+        }
+        self.buffers = DataBufferPool(env, count=active_config.num_buffers)
+        self.jump_table = JumpTable()
+        self.scheduler = CpuScheduler(env, self.cpus)
+        self.send_unit = SendUnit(self)
+        #: Embedded-kernel state (pre-allocated handler data; see
+        #: HandlerContext.kernel_state).
+        self.kernel_state: Dict[str, object] = {}
+        self._msg_cpu: Dict[int, SwitchCPU] = {}
+        self._mapping_waiters: Dict[Tuple[int, int], list] = {}
+
+    # ------------------------------------------------------------------
+    # Handler registration (done by the embedded kernel at boot)
+    # ------------------------------------------------------------------
+    def register_handler(self, handler_id: int, handler: Callable) -> None:
+        """Install ``handler(ctx)`` in the jump table."""
+        self.jump_table.register(handler_id, handler)
+
+    # ------------------------------------------------------------------
+    # ATB plumbing
+    # ------------------------------------------------------------------
+    def atb_for(self, cpu: SwitchCPU) -> AddressTranslationBuffer:
+        """The ATB belonging to ``cpu``."""
+        return self._atbs[cpu.cpu_id]
+
+    def wait_mapping(self, address: int, cpu: SwitchCPU):
+        """Block until ``address`` gets mapped into ``cpu``'s ATB."""
+        atb = self.atb_for(cpu)
+        if atb.is_mapped(address):
+            return
+            yield  # pragma: no cover
+        base = address - address % MTU
+        event = self.env.event()
+        self._mapping_waiters.setdefault((cpu.cpu_id, base), []).append(event)
+        yield event
+
+    def _wait_mappable(self, cpu: SwitchCPU, address: int):
+        """Stall until ``address``'s direct-mapped ATB entry is free."""
+        atb = self.atb_for(cpu)
+        while not atb.can_map(address):
+            freed = self.env.event()
+            atb.on_release(lambda e=freed: e.succeed()
+                           if not e.triggered else None)
+            yield freed
+
+    def _map_buffer_blocking(self, cpu: SwitchCPU, address: int, buffer):
+        """Map a region, stalling (backpressure) on direct-mapped
+        conflicts until the aliasing entry is deallocated.
+
+        Callers that also claim a data buffer must wait via
+        :meth:`_wait_mappable` *before* allocating it (deadlock
+        discipline); by then this map is normally immediate, but the
+        loop covers the race where another stream takes the entry in
+        between.
+        """
+        yield from self._wait_mappable(cpu, address)
+        self.atb_for(cpu).map(address, buffer)
+        base = address - address % MTU
+        for event in self._mapping_waiters.pop((cpu.cpu_id, base), []):
+            event.succeed()
+
+    # ------------------------------------------------------------------
+    # Active datapath
+    # ------------------------------------------------------------------
+    def crossbar_transfer_ps(self, nbytes: int) -> int:
+        """Time to move ``nbytes`` across the crossbar."""
+        return transfer_ps(nbytes, self.active_config.crossbar_bandwidth_bytes_per_s)
+
+    def deliver_local(self, packet: Packet, in_port: int):
+        """Accept an active message: buffer the payload, dispatch the
+        handler (first packet) or extend the mapped stream (later
+        packets)."""
+        self.stats.delivered_local += 1
+        if packet.active is None:
+            raise DispatchError(
+                f"{self.name}: packet addressed to switch has no active header")
+
+        # Deadlock discipline: never hold a data buffer while stalled on
+        # an ATB conflict — wait for the entry first, then claim the
+        # buffer (otherwise two multi-region streams can each hold part
+        # of the pool while waiting for the other's entries).
+        def stage_payload(cpu, address):
+            if packet.payload_bytes <= 0:
+                return None
+                yield  # pragma: no cover
+            atb = self.atb_for(cpu)
+            while True:
+                yield from self._wait_mappable(cpu, address)
+                buffer = yield from self.buffers.allocate()
+                if atb.can_map(address):
+                    break
+                # Lost the entry while waiting for a buffer: never hold
+                # a buffer while stalled on the ATB, or two multi-region
+                # streams can deadlock the pool.
+                self.buffers.release(buffer)
+            buffer.payload = packet.payload
+            self.env.process(
+                buffer.fill(packet.payload_bytes,
+                            self.active_config.crossbar_bandwidth_bytes_per_s),
+                name=f"{self.name}-fill")
+            yield from self._map_buffer_blocking(cpu, address, buffer)
+            return buffer
+
+        if packet.seq == 0:
+            # Header to the dispatch unit, in parallel with the copy.
+            cpu = self.scheduler.pick(packet.active.cpu_id)
+            self.tracer.record(self.env.now, "dispatch",
+                               switch=self.name,
+                               handler_id=packet.active.handler_id,
+                               cpu=cpu.cpu_id, src=packet.src)
+            self._msg_cpu[packet.message_id] = cpu
+            yield from stage_payload(cpu, packet.active.address)
+            total = (packet.message_bytes if packet.message_bytes is not None
+                     else packet.payload_bytes)
+            message = Message(src=packet.src, dst=packet.dst,
+                              size_bytes=total,
+                              active=packet.active, payload=packet.payload)
+            handler = self.jump_table.lookup(packet.active.handler_id)
+
+            def make_generator(chosen_cpu, _message=message, _handler=handler):
+                context = HandlerContext(self, chosen_cpu, _message)
+                return _handler(context)
+
+            self.scheduler.dispatch_on(cpu, make_generator)
+        else:
+            cpu = self._msg_cpu.get(packet.message_id)
+            if cpu is None:
+                raise DispatchError(
+                    f"{self.name}: continuation packet for unknown message "
+                    f"{packet.message_id}")
+            yield from stage_payload(
+                cpu, packet.active.address + packet.seq * MTU)
+        if packet.last:
+            self._msg_cpu.pop(packet.message_id, None)
+
+    def __repr__(self) -> str:
+        return (f"<ActiveSwitch {self.name}: {len(self.cpus)} CPUs, "
+                f"{self.buffers.in_use}/{self.buffers.count} buffers busy>")

@@ -1,0 +1,163 @@
+"""Address translation buffer (ATB).
+
+The ATB creates "the illusion of a flat memory for switch programmers":
+handlers address stream data with ordinary physical addresses, and the
+ATB maps an address to a ``(bufId, offset)`` pair when the data is
+resident in one of the 16 on-chip buffers.  Each switch CPU has its own
+direct-mapped, 16-entry ATB (one entry per data buffer).
+
+The ATB also assists de-allocation: given an end address, it finds every
+buffer whose mapped addresses lie entirely below that address so the DBA
+can free them — the ``Deallocate_Buffer`` macro of the programming
+model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from .data_buffer import BUFFER_BYTES, DataBuffer
+
+#: Paper parameter: one entry per data buffer.
+NUM_ENTRIES = 16
+
+
+class ATBError(Exception):
+    """Misuse or conflict in the address translation buffer."""
+
+
+@dataclass
+class ATBEntry:
+    """One mapping from a buffer-aligned address region to a buffer."""
+
+    base_address: int
+    buffer: DataBuffer
+
+
+@dataclass
+class ATBStats:
+    translations: int = 0
+    misses: int = 0
+    conflicts: int = 0
+
+
+class AddressTranslationBuffer:
+    """Direct-mapped address -> (buffer, offset) translation."""
+
+    def __init__(self, num_entries: int = NUM_ENTRIES,
+                 region_bytes: int = BUFFER_BYTES):
+        if num_entries <= 0:
+            raise ValueError("ATB needs at least one entry")
+        if region_bytes <= 0 or region_bytes & (region_bytes - 1):
+            raise ValueError("region size must be a positive power of two")
+        self.num_entries = num_entries
+        self.region_bytes = region_bytes
+        self.stats = ATBStats()
+        self._region_shift = region_bytes.bit_length() - 1
+        self._entries: List[Optional[ATBEntry]] = [None] * num_entries
+        self._release_waiters: List = []
+
+    def _index(self, address: int) -> int:
+        return (address >> self._region_shift) % self.num_entries
+
+    def _base(self, address: int) -> int:
+        return (address >> self._region_shift) << self._region_shift
+
+    # ------------------------------------------------------------------
+    # Mapping (done by the Dispatch unit on message arrival)
+    # ------------------------------------------------------------------
+    def map(self, address: int, buffer: DataBuffer) -> None:
+        """Install a mapping for the region containing ``address``.
+
+        The dispatch unit "maps the buffer ID holding the message into a
+        corresponding entry in the ATB according to the destination
+        address field in the header."
+        """
+        base = self._base(address)
+        index = self._index(address)
+        current = self._entries[index]
+        if current is not None:
+            self.stats.conflicts += 1
+            raise ATBError(
+                f"ATB entry {index} already maps {current.base_address:#x}; "
+                f"cannot map {base:#x} (handler must deallocate first)")
+        self._entries[index] = ATBEntry(base_address=base, buffer=buffer)
+
+    # ------------------------------------------------------------------
+    # Translation (every handler buffer access)
+    # ------------------------------------------------------------------
+    def translate(self, address: int) -> Tuple[DataBuffer, int]:
+        """Return ``(buffer, offset)`` for ``address``."""
+        self.stats.translations += 1
+        entry = self._entries[self._index(address)]
+        if entry is None or entry.base_address != self._base(address):
+            self.stats.misses += 1
+            raise ATBError(f"no ATB mapping for address {address:#x}")
+        return entry.buffer, address - entry.base_address
+
+    def lookup(self, address: int) -> Optional[Tuple[DataBuffer, int]]:
+        """Like :meth:`translate` but returns None instead of raising."""
+        self.stats.translations += 1
+        entry = self._entries[self._index(address)]
+        if entry is None or entry.base_address != self._base(address):
+            self.stats.misses += 1
+            return None
+        return entry.buffer, address - entry.base_address
+
+    def is_mapped(self, address: int) -> bool:
+        return self.lookup(address) is not None
+
+    # ------------------------------------------------------------------
+    # De-allocation support
+    # ------------------------------------------------------------------
+    def release_below(self, end_address: int) -> List[DataBuffer]:
+        """Unmap and return all buffers mapped entirely below ``end_address``.
+
+        "The hardware will take care of releasing data buffers holding
+        valid mapped addresses less than that end address."
+        """
+        released = []
+        for index, entry in enumerate(self._entries):
+            if entry is None:
+                continue
+            if entry.base_address + self.region_bytes <= end_address:
+                released.append(entry.buffer)
+                self._entries[index] = None
+        if released:
+            self._notify_release()
+        return released
+
+    def on_release(self, callback) -> None:
+        """Register a one-shot callback fired when entries free up.
+
+        The dispatch path uses this to *wait out* a direct-mapped
+        conflict (stalling the input port — backpressure) instead of
+        failing: hardware holds the packet until the aliasing entry is
+        deallocated.
+        """
+        self._release_waiters.append(callback)
+
+    def _notify_release(self) -> None:
+        waiters, self._release_waiters = self._release_waiters, []
+        for callback in waiters:
+            callback()
+
+    def mapped_count(self) -> int:
+        """Number of live entries."""
+        return sum(1 for entry in self._entries if entry is not None)
+
+    def clear(self) -> List[DataBuffer]:
+        """Unmap everything (end of handler); returns the buffers."""
+        buffers = [e.buffer for e in self._entries if e is not None]
+        self._entries = [None] * self.num_entries
+        if buffers:
+            self._notify_release()
+        return buffers
+
+    def can_map(self, address: int) -> bool:
+        """True if mapping ``address`` would not conflict."""
+        return self._entries[self._index(address)] is None
+
+    def __repr__(self) -> str:
+        return f"<ATB {self.mapped_count()}/{self.num_entries} mapped>"

@@ -1,0 +1,154 @@
+"""On-chip data buffers — the central staging area for switch processors.
+
+The paper: "Each data buffer is an independently managed chunk of memory
+equipped with cache-line based valid bits to allow more parallelism and
+pipelined data transfers.  When a line of data is ready, its
+corresponding valid bit is set.  Accessing an invalid line in a data
+buffer will stall the switch CPU until that line becomes valid."
+
+There are 16 buffers of 512 bytes (one network MTU) each.  Incoming
+data streams into a buffer line by line at crossbar bandwidth; a handler
+reading ahead of the fill point blocks on the valid bits.  Reads from a
+*valid* line never miss — this is how the design eliminates cold misses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..sim.core import Environment
+from ..sim.resources import Store
+from ..sim.units import transfer_ps
+
+#: Paper parameters.
+NUM_BUFFERS = 16
+BUFFER_BYTES = 512
+VALID_LINE_BYTES = 64
+
+
+@dataclass
+class BufferPoolStats:
+    allocations: int = 0
+    frees: int = 0
+    peak_in_use: int = 0
+
+
+class BufferError(Exception):
+    """Misuse of the data-buffer pool."""
+
+
+class DataBuffer:
+    """One 512-byte buffer with per-line valid bits."""
+
+    def __init__(self, env: Environment, buffer_id: int,
+                 size: int = BUFFER_BYTES, line: int = VALID_LINE_BYTES):
+        self.env = env
+        self.buffer_id = buffer_id
+        self.size = size
+        self.line = line
+        self.valid_bytes = 0
+        self.payload = None
+        self._waiters = []  # (threshold, event)
+
+    def reset(self) -> None:
+        """Recycle the buffer for a new message."""
+        self.valid_bytes = 0
+        self.payload = None
+        self._waiters.clear()
+
+    def mark_all_valid(self) -> None:
+        """Instantly validate the whole buffer (zero-copy local compose)."""
+        self.valid_bytes = self.size
+        self._wake()
+
+    def _wake(self) -> None:
+        ready = [w for w in self._waiters if w[0] <= self.valid_bytes]
+        self._waiters = [w for w in self._waiters if w[0] > self.valid_bytes]
+        for _, event in ready:
+            event.succeed()
+
+    def fill(self, nbytes: int, bandwidth_bytes_per_s: float):
+        """Stream ``nbytes`` in, validating one line at a time.
+
+        Generator process: models the crossbar copying the payload into
+        the buffer while the CPU may already be reading behind the fill
+        point.
+        """
+        if nbytes > self.size:
+            raise BufferError(
+                f"fill of {nbytes} B exceeds buffer size {self.size} B")
+        line_time = transfer_ps(self.line, bandwidth_bytes_per_s)
+        remaining = nbytes
+        while remaining > 0:
+            chunk = min(self.line, remaining)
+            yield self.env.timeout(
+                line_time if chunk == self.line
+                else transfer_ps(chunk, bandwidth_bytes_per_s))
+            self.valid_bytes += chunk
+            remaining -= chunk
+            self._wake()
+
+    def wait_valid(self, upto_bytes: int):
+        """Block (stalling the reading CPU) until ``upto_bytes`` are valid."""
+        if upto_bytes > self.size:
+            raise BufferError(
+                f"cannot wait for {upto_bytes} B in a {self.size} B buffer")
+        if self.valid_bytes >= upto_bytes:
+            return
+            yield  # pragma: no cover
+        event = self.env.event()
+        self._waiters.append((upto_bytes, event))
+        yield event
+
+    def __repr__(self) -> str:
+        return (f"<DataBuffer {self.buffer_id}: "
+                f"{self.valid_bytes}/{self.size} B valid>")
+
+
+class DataBufferPool:
+    """The Data Buffer Administrator (DBA): allocation and release.
+
+    "A data buffer administrator ... aids in buffer allocation and
+    de-allocation."  Allocation blocks when all 16 buffers are busy,
+    which back-pressures the input ports (and is why streaming handlers
+    must release buffers promptly).
+    """
+
+    def __init__(self, env: Environment, count: int = NUM_BUFFERS,
+                 size: int = BUFFER_BYTES):
+        if count < 2:
+            raise ValueError(
+                "need at least 2 data buffers (one input, one output stream)")
+        self.env = env
+        self.count = count
+        self.stats = BufferPoolStats()
+        self._free: Store = Store(env)
+        self._buffers = [DataBuffer(env, i, size=size) for i in range(count)]
+        for buffer in self._buffers:
+            self._free.items.append(buffer)
+
+    @property
+    def free_count(self) -> int:
+        return len(self._free.items)
+
+    @property
+    def in_use(self) -> int:
+        return self.count - self.free_count
+
+    def allocate(self):
+        """Claim a buffer (generator; blocks when none are free)."""
+        buffer = yield self._free.get()
+        buffer.reset()
+        self.stats.allocations += 1
+        self.stats.peak_in_use = max(self.stats.peak_in_use, self.in_use)
+        return buffer
+
+    def release(self, buffer: DataBuffer) -> None:
+        """Return a buffer to the free pool."""
+        if buffer in self._free.items:
+            raise BufferError(f"double free of buffer {buffer.buffer_id}")
+        self.stats.frees += 1
+        self._free.put(buffer)
+
+    def __repr__(self) -> str:
+        return f"<DataBufferPool {self.in_use}/{self.count} in use>"

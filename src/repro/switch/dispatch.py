@@ -1,0 +1,145 @@
+"""Dispatch unit and jump table.
+
+"The Dispatch unit extracts the PC according to the handler ID in the
+header and schedules the handler on a free switch processor.  The
+Dispatch unit also maps the buffer ID holding the message into a
+corresponding entry in the ATB according to the destination address
+field in the header."
+
+The jump table stores the starting program counter of each handler,
+indexed by the 6-bit handler ID; here a "program counter" is a Python
+generator function ``handler(ctx) -> generator``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from ..net.packet import MAX_HANDLER_ID
+from ..sim.core import Environment
+from ..sim.resources import Store
+from ..sim.units import ns
+
+
+class DispatchError(Exception):
+    """Unknown handler ID or bad dispatch request."""
+
+
+class JumpTable:
+    """handler ID -> handler entry point."""
+
+    def __init__(self, size: int = MAX_HANDLER_ID + 1):
+        self.size = size
+        self._handlers: Dict[int, Callable] = {}
+
+    def register(self, handler_id: int, handler: Callable) -> None:
+        """Install ``handler`` at ``handler_id``."""
+        if not 0 <= handler_id < self.size:
+            raise DispatchError(
+                f"handler ID {handler_id} outside the 6-bit field")
+        if handler_id in self._handlers:
+            raise DispatchError(f"handler ID {handler_id} already registered")
+        self._handlers[handler_id] = handler
+
+    def lookup(self, handler_id: int) -> Callable:
+        """Fetch the handler entry point."""
+        try:
+            return self._handlers[handler_id]
+        except KeyError:
+            raise DispatchError(f"no handler registered for ID {handler_id}") from None
+
+    def __contains__(self, handler_id: int) -> bool:
+        return handler_id in self._handlers
+
+    def __len__(self) -> int:
+        return len(self._handlers)
+
+
+@dataclass
+class DispatchStats:
+    dispatched: int = 0
+    queued_waits: int = 0
+
+
+class CpuScheduler:
+    """Schedules handler invocations onto the embedded switch CPUs.
+
+    Each CPU runs a worker loop draining its own task queue.  Dispatches
+    without a CPU-ID preference go to the shortest queue (a free CPU has
+    an empty one); the MD5 multi-processor experiment pins chains to
+    CPUs via the header's switch-CPU-ID field.
+    """
+
+    #: Hardware dispatch latency (header parse + jump-table read).
+    DISPATCH_LATENCY_PS = ns(4)
+
+    def __init__(self, env: Environment, cpus: List):
+        if not cpus:
+            raise ValueError("need at least one switch CPU")
+        self.env = env
+        self.cpus = cpus
+        self.stats = DispatchStats()
+        self._queues: List[Store] = [Store(env) for _ in cpus]
+        self._pending: List[int] = [0] * len(cpus)
+        for index, cpu in enumerate(cpus):
+            env.process(self._worker(index, cpu), name=f"dispatch-{cpu.name}")
+
+    def _worker(self, index: int, cpu):
+        queue = self._queues[index]
+        while True:
+            task = yield queue.get()
+            generator, done = task
+            cpu.active = True
+            try:
+                result = yield self.env.process(generator, name=f"{cpu.name}-handler")
+            finally:
+                cpu.active = False
+                self._pending[index] -= 1
+            if done is not None:
+                done.succeed(result)
+
+    def pick(self, cpu_id: Optional[int] = None):
+        """Choose the CPU a handler will run on.
+
+        A header carrying a switch-CPU ID (the MD5 multi-processor
+        experiment) pins the choice; otherwise the least-loaded core —
+        a free CPU has an empty queue — is selected.
+        """
+        if cpu_id is not None:
+            if not 0 <= cpu_id < len(self.cpus):
+                raise DispatchError(
+                    f"cpu_id {cpu_id} out of range (switch has {len(self.cpus)})")
+            return self.cpus[cpu_id]
+        index = min(range(len(self.cpus)), key=lambda i: self._pending[i])
+        return self.cpus[index]
+
+    def dispatch_on(self, cpu, make_generator: Callable):
+        """Schedule a handler on ``cpu``; returns its completion event.
+
+        ``make_generator(cpu)`` builds the handler generator bound to the
+        chosen CPU (the context needs to know which CPU's ATB and caches
+        it uses).
+        """
+        index = self.cpus.index(cpu)
+        if self._pending[index] > 0:
+            self.stats.queued_waits += 1
+        self._pending[index] += 1
+        self.stats.dispatched += 1
+        done = self.env.event()
+
+        def launch():
+            yield self.env.timeout(self.DISPATCH_LATENCY_PS)
+            yield self._queues[index].put((make_generator(cpu), done))
+
+        self.env.process(launch(), name="dispatch-launch")
+        return done
+
+    def dispatch(self, make_generator: Callable, cpu_id: Optional[int] = None):
+        """Pick a CPU and schedule a handler on it in one step."""
+        return self.dispatch_on(self.pick(cpu_id), make_generator)
+
+    @property
+    def busy_count(self) -> int:
+        """CPUs currently running a handler."""
+        return sum(1 for cpu in self.cpus if cpu.active)

@@ -1,0 +1,127 @@
+"""Handler execution context — the active switch programming model.
+
+A handler is written against this context the way the paper's handlers
+are written against memory-mapped data buffers:
+
+* ``ctx.arg`` / ``ctx.address`` — the arguments and base address carried
+  by the invoking active message (``ReadArg(arg)`` in the paper's
+  pseudo-code);
+* ``ctx.read(addr, n)`` — memory-mapped stream access: the ATB
+  translates the address to a (buffer, offset) pair and the CPU stalls
+  on the per-line valid bits if the data has not streamed in yet;
+* ``ctx.compute(cycles)`` — handler computation on the switch CPU;
+* ``ctx.local_load/store/scan`` — references to switch local memory
+  (through the CPU's 1 KB data cache — e.g. HashJoin's bit-vector);
+* ``ctx.send(dst, n)`` — compose and send a message via the send unit;
+* ``ctx.deallocate(end_addr)`` — the ``Deallocate_Buffer`` macro.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..cpu.switch_cpu import RELEASE_BUFFER_CYCLES, SwitchCPU
+from ..net.packet import ActiveHeader, Message
+
+
+class HandlerContext:
+    """Everything a handler invocation can touch."""
+
+    def __init__(self, switch, cpu: SwitchCPU, message: Message):
+        self.switch = switch
+        self.env = switch.env
+        self.cpu = cpu
+        self.message = message
+        #: Argument payload delivered with the invoking message.
+        self.arg = message.payload
+        #: Base address the message's data was mapped at by the ATB.
+        self.address = message.active.address if message.active else 0
+        self._released = False
+
+    # ------------------------------------------------------------------
+    # Stream data access (memory-mapped buffers)
+    # ------------------------------------------------------------------
+    def read(self, addr: int, nbytes: int):
+        """Read ``nbytes`` at ``addr`` from the mapped data buffers.
+
+        Stalls the switch CPU until the bytes are valid.  Per the
+        programming model, instruction costs of consuming the data are
+        charged by the handler via :meth:`compute`; this method models
+        only the data-dependency wait.
+        """
+        atb = self.switch.atb_for(self.cpu)
+        offset_done = 0
+        while offset_done < nbytes:
+            current = addr + offset_done
+            mapping = atb.lookup(current)
+            if mapping is None:
+                yield from self.switch.wait_mapping(current, self.cpu)
+                mapping = atb.lookup(current)
+            buffer, offset = mapping
+            chunk = min(nbytes - offset_done, buffer.size - offset)
+            start = self.env.now
+            yield from buffer.wait_valid(offset + chunk)
+            self.cpu.accounting.add_stall(self.env.now - start)
+            offset_done += chunk
+
+    def payload_at(self, addr: int):
+        """Functional payload carried by the message mapped at ``addr``."""
+        mapping = self.switch.atb_for(self.cpu).lookup(addr)
+        return mapping[0].payload if mapping else None
+
+    # ------------------------------------------------------------------
+    # Computation and local memory
+    # ------------------------------------------------------------------
+    def compute(self, cycles: float, stall_ps: int = 0):
+        """Run handler computation on this CPU."""
+        yield from self.cpu.work(busy_cycles=cycles, stall_ps=stall_ps)
+
+    def local_load(self, addr: int):
+        """One load from switch local memory (may miss in the 1 KB D$)."""
+        stall = self.cpu.cache_cost(addr, write=False)
+        yield from self.cpu.work(busy_cycles=1, stall_ps=stall)
+
+    def local_store(self, addr: int):
+        """One store to switch local memory."""
+        stall = self.cpu.cache_cost(addr, write=True)
+        yield from self.cpu.work(busy_cycles=1, stall_ps=stall)
+
+    def local_scan(self, addr: int, nbytes: int, write: bool = False):
+        """Sequential local-memory access over a byte range."""
+        stall = self.cpu.scan_cost(addr, nbytes, write=write)
+        lines = -(-nbytes // self.cpu.hierarchy.l1d.config.line_size)
+        yield from self.cpu.work(busy_cycles=lines, stall_ps=stall)
+
+    # ------------------------------------------------------------------
+    # Messaging
+    # ------------------------------------------------------------------
+    def send(self, dst: str, size_bytes: int,
+             active: Optional[ActiveHeader] = None, payload=None):
+        """Compose and send a message via the send unit."""
+        yield from self.switch.send_unit.send(
+            self.cpu, dst, size_bytes, active=active, payload=payload)
+
+    # ------------------------------------------------------------------
+    # Buffer management
+    # ------------------------------------------------------------------
+    def deallocate(self, end_address: int):
+        """``Deallocate_Buffer``: free all buffers mapped below
+        ``end_address``."""
+        yield from self.cpu.work(busy_cycles=RELEASE_BUFFER_CYCLES)
+        atb = self.switch.atb_for(self.cpu)
+        for buffer in atb.release_below(end_address):
+            self.switch.buffers.release(buffer)
+        self._released = True
+
+    def kernel_state(self, key: str, default=None):
+        """Read a value from the switch's embedded-kernel state.
+
+        Handlers "are not allowed to allocate memory freely"; the small
+        run-time kernel provides named state (e.g. a reduction
+        accumulator) allocated at registration time.
+        """
+        return self.switch.kernel_state.get(key, default)
+
+    def set_kernel_state(self, key: str, value) -> None:
+        """Write embedded-kernel state."""
+        self.switch.kernel_state[key] = value

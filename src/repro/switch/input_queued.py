@@ -1,0 +1,117 @@
+"""Input-queued switch — the architecture the paper's design rejects.
+
+The paper bases its switch on "a central output queue scheme similar to
+that in the IBM Switch-3".  The classical alternative queues packets at
+the *inputs*, which suffers head-of-line (HOL) blocking: a packet stuck
+behind one destined to a busy output stalls even when its own output is
+free, capping throughput at ~58.6 % under uniform traffic (Karol et
+al.).  :class:`InputQueuedSwitch` implements that alternative so the
+ablation bench can show what the output-queued choice buys.
+
+The input FIFO has finite depth; when it fills, link credits throttle
+the sender (same loss-free discipline as the base switch).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..net.link import Link
+from ..net.packet import Packet
+from ..sim.core import Environment
+from ..sim.resources import Resource, Store
+from .base import PortNotConnected, RoutingToSwitchError, SwitchConfig
+
+
+@dataclass(frozen=True)
+class InputQueuedConfig:
+    """Parameters of the input-queued variant."""
+
+    #: Packets buffered per input port.
+    input_queue_packets: int = 4
+
+    def __post_init__(self):
+        if self.input_queue_packets < 1:
+            raise ValueError("input queue must hold at least one packet")
+
+
+class InputQueuedSwitch:
+    """An N-port switch with per-input FIFOs and HOL blocking.
+
+    One packet crosses the crossbar to an output at a time per output;
+    an input's *head* packet must win its output before the next packet
+    on that input can even be considered — the defining HOL constraint.
+    """
+
+    def __init__(self, env: Environment, name: str,
+                 config: SwitchConfig = SwitchConfig(),
+                 iq_config: InputQueuedConfig = InputQueuedConfig()):
+        self.env = env
+        self.name = name
+        self.config = config
+        self.iq_config = iq_config
+        from ..net.routing import RoutingTable
+        from .base import SwitchStats
+        self.routing = RoutingTable(name)
+        self.stats = SwitchStats()
+        self._tx_links = [None] * config.num_ports
+        self._input_queues = [
+            Store(env, capacity=iq_config.input_queue_packets)
+            for _ in range(config.num_ports)
+        ]
+        # One grant at a time per output (the crossbar column).
+        self._output_grants = [Resource(env, capacity=1)
+                               for _ in range(config.num_ports)]
+        for port in range(config.num_ports):
+            env.process(self._head_of_line(port), name=f"{name}-hol{port}")
+
+    # ------------------------------------------------------------------
+    # Wiring (same interface as BaseSwitch)
+    # ------------------------------------------------------------------
+    def connect(self, port: int, tx_link: Link, rx_link: Link) -> None:
+        if not 0 <= port < self.config.num_ports:
+            raise ValueError(f"{self.name}: port {port} out of range")
+        if self._tx_links[port] is not None:
+            raise ValueError(f"{self.name}: port {port} already connected")
+        self._tx_links[port] = tx_link
+        self.env.process(self._reader(port, rx_link),
+                         name=f"{self.name}-rx{port}")
+
+    def _reader(self, port: int, rx_link: Link):
+        queue = self._input_queues[port]
+        while True:
+            packet = yield from rx_link.receive()
+            # Blocks (and thus withholds credits) when the FIFO is full.
+            yield queue.put(packet)
+
+    # ------------------------------------------------------------------
+    # The HOL-blocked service loop
+    # ------------------------------------------------------------------
+    def _head_of_line(self, port: int):
+        queue = self._input_queues[port]
+        while True:
+            packet = yield queue.get()
+            if packet.dst == self.name:
+                self.stats.dropped += 1
+                raise RoutingToSwitchError(
+                    f"{self.name}: input-queued switch has no active path")
+            out_port = self.routing.lookup(packet.dst)
+            grant = self._output_grants[out_port].request()
+            # HOL blocking: this input serves nothing else while its
+            # head waits for the output.
+            yield grant
+            try:
+                yield self.env.timeout(self.config.routing_latency_ps)
+                link = self._tx_links[out_port]
+                if link is None:
+                    raise PortNotConnected(
+                        f"{self.name}: packet routed to unconnected port "
+                        f"{out_port}")
+                yield from link.send(packet)
+                self.stats.forwarded += 1
+            finally:
+                self._output_grants[out_port].release(grant)
+
+    def __repr__(self) -> str:
+        return (f"<InputQueuedSwitch {self.name}: "
+                f"{self.stats.forwarded} forwarded>")

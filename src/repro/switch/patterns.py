@@ -1,0 +1,116 @@
+"""Reusable handler patterns.
+
+Section 2.2 of the paper observes that every handler shares one
+skeleton — the memory-mapped streaming loop of its pseudo-code — and
+"Only the ProcessData function is different for different handlers".
+:func:`stream_loop` is that skeleton; the factory functions below build
+complete handlers for the three recurring shapes:
+
+* :func:`filter_handler` — forward a selected subset (Grep, Select,
+  HashJoin's S scan, MPEG's frame filter);
+* :func:`redirect_handler` — pass the stream through untouched to
+  another node (Tar, device-to-device copies);
+* :func:`aggregate_handler` — combine many messages into kernel state
+  and emit one result (collective reductions).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from ..net.packet import MTU
+from .handler import HandlerContext
+
+
+def _round_up(value: int, quantum: int = MTU) -> int:
+    return -(-value // quantum) * quantum
+
+
+def stream_loop(ctx: HandlerContext,
+                process_data: Optional[Callable] = None,
+                mtu: int = MTU):
+    """The paper's canonical handler loop.
+
+    Mirrors the Section 2.2 pseudo-code: walk ``file_len`` in MTU-sized
+    blocks, ``ProcessData`` each one, and ``Deallocate_Buffer`` behind
+    the read cursor so buffers recycle as the stream advances.
+
+    ``process_data(ctx, offset, nbytes)``, if given, must be a
+    generator (it may compute, probe local memory, or send).
+    """
+    file_len = ctx.message.size_bytes
+    offset = 0
+    while offset < file_len:
+        chunk = min(mtu, file_len - offset)
+        yield from ctx.read(ctx.address + offset, chunk)
+        if process_data is not None:
+            yield from process_data(ctx, offset, chunk)
+        offset += chunk
+        # Free every buffer entirely behind the cursor.
+        yield from ctx.deallocate(ctx.address + (offset // mtu) * mtu)
+    # Release the final (possibly partial) region.
+    yield from ctx.deallocate(ctx.address + _round_up(file_len, mtu))
+
+
+def filter_handler(dst: str, cycles_per_byte: float,
+                   selector: Callable):
+    """A handler that scans the stream and forwards a selected subset.
+
+    ``selector(payload) -> (out_bytes, out_payload)`` runs once per
+    message on the functional payload; the timing side charges
+    ``cycles_per_byte`` over the scanned bytes and ships ``out_bytes``
+    to ``dst``.
+    """
+    def handler(ctx: HandlerContext):
+        def process(ctx, offset, chunk):
+            yield from ctx.compute(cycles=chunk * cycles_per_byte)
+
+        yield from stream_loop(ctx, process)
+        out_bytes, out_payload = selector(ctx.arg)
+        if out_bytes > 0:
+            yield from ctx.send(dst, out_bytes, payload=out_payload)
+
+    return handler
+
+
+def redirect_handler(dst: str, cycles_per_block: float = 20):
+    """A handler that forwards the stream untouched (Tar-style).
+
+    The send unit moves the data straight from the buffers; the CPU
+    only orchestrates, at ``cycles_per_block`` per MTU.
+    """
+    def handler(ctx: HandlerContext):
+        file_len = ctx.message.size_bytes
+
+        def process(ctx, offset, chunk):
+            yield from ctx.compute(cycles=cycles_per_block)
+
+        # Forward first (zero-copy out of the same buffers), then walk
+        # the stream for the timing/deallocation bookkeeping.
+        yield from ctx.send(dst, file_len, payload=ctx.arg)
+        yield from stream_loop(ctx, process)
+
+    return handler
+
+
+def aggregate_handler(state_key: str, combine: Callable,
+                      expected_key: str, count_key: str,
+                      finish: Callable):
+    """A handler that folds each message into kernel state.
+
+    ``combine(state, payload) -> state`` runs per message;
+    when ``count`` reaches the value at ``expected_key``,
+    ``finish(ctx, state)`` (a generator) emits the result.  The state
+    lives in the embedded kernel's pre-allocated storage, per the
+    paper's no-free-allocation rule.
+    """
+    def handler(ctx: HandlerContext):
+        yield from stream_loop(ctx)
+        state = combine(ctx.kernel_state(state_key), ctx.arg)
+        ctx.set_kernel_state(state_key, state)
+        done = ctx.kernel_state(count_key, 0) + 1
+        ctx.set_kernel_state(count_key, done)
+        if done >= ctx.kernel_state(expected_key):
+            yield from finish(ctx, state)
+
+    return handler

@@ -1,0 +1,68 @@
+"""Send unit: composes and launches switch-originated messages.
+
+"In most cases, the switch CPU needs to allocate a data buffer to
+compose a new outgoing message.  It sends the header of this message to
+the Send unit, which informs the Crossbar to schedule the message to its
+destination."  The crossbar is logically (N+1) x N: the data buffers are
+the extra input port.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..cpu.switch_cpu import SEND_BUFFER_CYCLES, SwitchCPU
+from ..net.packet import MTU, ActiveHeader, Message
+
+
+@dataclass
+class SendUnitStats:
+    messages: int = 0
+    packets: int = 0
+    bytes: int = 0
+
+
+class SendUnit:
+    """Per-switch message composition and injection engine."""
+
+    def __init__(self, switch):
+        self.switch = switch
+        self.env = switch.env
+        self.stats = SendUnitStats()
+
+    def send(self, cpu: SwitchCPU, dst: str, size_bytes: int,
+             active: Optional[ActiveHeader] = None, payload=None,
+             out_port: Optional[int] = None):
+        """Compose and transmit a message from ``cpu``.
+
+        Generator to be yielded from a handler: per packet it charges
+        the send-instruction cycles, claims a compose buffer, injects
+        the packet into the central output queue, and recycles the
+        buffer once the packet leaves on the wire.
+        """
+        message = Message(src=self.switch.name, dst=dst,
+                          size_bytes=size_bytes, active=active,
+                          payload=payload)
+        self.stats.messages += 1
+        self.stats.bytes += size_bytes
+        for packet in message.packetize():
+            yield from cpu.work(busy_cycles=SEND_BUFFER_CYCLES)
+            buffer = yield from self.switch.buffers.allocate()
+            buffer.mark_all_valid()  # composed in place by the handler
+            packet.notify = self.env.event()
+            self.stats.packets += 1
+            yield from self.switch.inject(packet, out_port=out_port)
+            self.env.process(self._recycle(packet, buffer), name="send-recycle")
+
+    def _recycle(self, packet, buffer):
+        yield packet.notify
+        self.switch.buffers.release(buffer)
+
+    def occupancy_ps(self, size_bytes: int) -> int:
+        """Analytic wire-side cost for bulk sends (block pipeline)."""
+        if size_bytes <= 0:
+            return 0
+        packets = -(-size_bytes // MTU)
+        header_bytes = 16 * packets
+        return self.switch.crossbar_transfer_ps(size_bytes + header_bytes)

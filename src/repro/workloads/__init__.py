@@ -1,0 +1,5 @@
+"""Deterministic synthetic workload generators for the nine benchmarks."""
+
+from . import datamation, files, mpeg, records, text, zipf
+
+__all__ = ["datamation", "files", "mpeg", "records", "text", "zipf"]

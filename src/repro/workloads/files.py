@@ -1,0 +1,56 @@
+"""File sets for the Tar benchmark.
+
+The paper tars a 4 MB set of input files ("tar -cf": create an archive).
+We generate a deterministic list of (name, size) pairs plus content
+stencils; the tar kernel builds real USTAR headers from them.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List
+
+#: Paper input size.
+PAPER_INPUT_BYTES = 4 * 1024 * 1024
+
+
+@dataclass(frozen=True)
+class FileSpec:
+    """One input file for the archive."""
+
+    name: str
+    size: int
+    mode: int = 0o644
+    mtime: int = 1_041_379_200  # 2003-01-01, the paper's year
+
+    def content(self) -> bytes:
+        """Deterministic content derived from the name."""
+        stencil = (self.name.encode("ascii") + b"\x00") * 8
+        reps = self.size // len(stencil) + 1
+        return (stencil * reps)[:self.size]
+
+
+def generate_fileset(total_bytes: int = PAPER_INPUT_BYTES,
+                     mean_file_bytes: int = 128 * 1024,
+                     seed: int = 5) -> List[FileSpec]:
+    """A deterministic set of files summing to ``total_bytes``."""
+    if total_bytes <= 0:
+        raise ValueError(f"total size must be positive, got {total_bytes}")
+    rng = random.Random(seed)
+    files: List[FileSpec] = []
+    remaining = total_bytes
+    index = 0
+    while remaining > 0:
+        size = min(remaining,
+                   max(1024, int(rng.gauss(mean_file_bytes,
+                                           mean_file_bytes / 3))))
+        files.append(FileSpec(name=f"data/input_{index:04d}.bin", size=size))
+        remaining -= size
+        index += 1
+    return files
+
+
+def total_size(files: List[FileSpec]) -> int:
+    """Sum of the file sizes."""
+    return sum(f.size for f in files)

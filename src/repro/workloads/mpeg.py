@@ -1,0 +1,117 @@
+"""Synthetic MPEG-like video streams.
+
+The paper's MPEG-filter input is a 2 202 640-byte video of I- and
+P-frames where "about 63.5% of the total data are P-type frames".  We
+generate a byte stream of framed units: an 8-byte header (start code,
+frame type, payload length) followed by payload bytes.  The frame mix is
+chosen so the P-frame byte fraction matches the target.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List
+
+#: Paper input size (bytes).
+PAPER_INPUT_BYTES = 2_202_640
+
+#: Paper P-frame byte fraction.
+PAPER_P_FRACTION = 0.635
+
+FRAME_HEADER_BYTES = 8
+START_CODE = b"\x00\x00\x01"
+
+FRAME_I = ord("I")
+FRAME_P = ord("P")
+FRAME_B = ord("B")
+
+
+@dataclass(frozen=True)
+class Frame:
+    """One video frame."""
+
+    frame_type: int
+    offset: int
+    total_bytes: int  # header + payload
+
+    @property
+    def is_intra(self) -> bool:
+        return self.frame_type == FRAME_I
+
+
+@dataclass
+class MpegStream:
+    """A generated stream plus its frame index."""
+
+    data: bytes
+    frames: List[Frame]
+
+    @property
+    def total_bytes(self) -> int:
+        return len(self.data)
+
+    def byte_fraction(self, frame_type: int) -> float:
+        matching = sum(f.total_bytes for f in self.frames
+                       if f.frame_type == frame_type)
+        return matching / len(self.data) if self.data else 0.0
+
+
+def generate_stream(total_bytes: int = PAPER_INPUT_BYTES,
+                    p_fraction: float = PAPER_P_FRACTION,
+                    mean_frame_bytes: int = 8 * 1024,
+                    seed: int = 2003) -> MpegStream:
+    """Generate a deterministic I/P stream of ~``total_bytes``.
+
+    Frames alternate following a GOP-like pattern; sizes are drawn so the
+    P-type byte share converges to ``p_fraction``.
+    """
+    if total_bytes < 2 * FRAME_HEADER_BYTES:
+        raise ValueError(f"stream too small: {total_bytes}")
+    if not 0.0 <= p_fraction < 1.0:
+        raise ValueError(f"p_fraction must be in [0, 1), got {p_fraction}")
+    rng = random.Random(seed)
+    chunks = []
+    frames: List[Frame] = []
+    offset = 0
+    p_bytes = 0
+    while offset < total_bytes:
+        # Choose the type steering the running P-byte share to target.
+        current_fraction = p_bytes / offset if offset else 0.0
+        frame_type = FRAME_P if current_fraction < p_fraction else FRAME_I
+        size = max(FRAME_HEADER_BYTES + 16,
+                   int(rng.gauss(mean_frame_bytes, mean_frame_bytes / 4)))
+        size = min(size, total_bytes - offset)
+        if size < FRAME_HEADER_BYTES + 1:
+            # Absorb the tail into padding on the previous frame.
+            break
+        payload_len = size - FRAME_HEADER_BYTES
+        header = (START_CODE + bytes([frame_type])
+                  + payload_len.to_bytes(4, "big"))
+        payload = bytes((rng.getrandbits(8) for _ in range(min(payload_len, 64))))
+        # Payload content beyond a 64-byte stencil is repetition — the
+        # filter only parses headers, so content entropy is irrelevant.
+        payload = (payload * (payload_len // len(payload) + 1))[:payload_len]
+        chunks.append(header + payload)
+        frames.append(Frame(frame_type=frame_type, offset=offset,
+                            total_bytes=size))
+        if frame_type == FRAME_P:
+            p_bytes += size
+        offset += size
+    return MpegStream(data=b"".join(chunks), frames=frames)
+
+
+def parse_frames(data: bytes) -> List[Frame]:
+    """Re-parse a generated stream from its framing (the filter's job)."""
+    frames: List[Frame] = []
+    offset = 0
+    while offset + FRAME_HEADER_BYTES <= len(data):
+        if data[offset:offset + 3] != START_CODE:
+            raise ValueError(f"bad start code at offset {offset}")
+        frame_type = data[offset + 3]
+        payload_len = int.from_bytes(data[offset + 4:offset + 8], "big")
+        total = FRAME_HEADER_BYTES + payload_len
+        frames.append(Frame(frame_type=frame_type, offset=offset,
+                            total_bytes=total))
+        offset += total
+    return frames

@@ -1,0 +1,73 @@
+"""Text corpus for the Grep benchmark.
+
+The paper greps one 1 146 880-byte file for the string "Big Red Bear"
+and finds exactly 16 matching lines.  The generator produces filler
+prose lines and plants the pattern on a configurable number of lines at
+deterministic positions.
+"""
+
+from __future__ import annotations
+
+import random
+
+#: Paper parameters.
+PAPER_FILE_BYTES = 1_146_880
+PAPER_PATTERN = "Big Red Bear"
+PAPER_MATCH_LINES = 16
+
+_WORDS = (
+    "switch active network cluster system disk stream buffer handler "
+    "packet message node host processor cache memory data bandwidth "
+    "latency request filter search archive record vector"
+).split()
+
+
+def generate_text(total_bytes: int = PAPER_FILE_BYTES,
+                  pattern: str = PAPER_PATTERN,
+                  match_lines: int = PAPER_MATCH_LINES,
+                  mean_line_bytes: int = 64,
+                  seed: int = 42) -> bytes:
+    """A deterministic text file with exactly ``match_lines`` matches."""
+    if total_bytes < (match_lines + 1) * (len(pattern) + 2):
+        raise ValueError("file too small for the requested matches")
+    rng = random.Random(seed)
+    lines = []
+    size = 0
+    while size < total_bytes:
+        words = [rng.choice(_WORDS)
+                 for _ in range(max(2, int(rng.gauss(mean_line_bytes / 7, 3))))]
+        line = " ".join(words) + "\n"
+        lines.append(line)
+        size += len(line)
+    # Plant the pattern on evenly spaced lines (never adjacent, so each
+    # match is on its own line).
+    stride = max(1, len(lines) // (match_lines + 1))
+    planted = 0
+    for i in range(stride, len(lines), stride):
+        if planted >= match_lines:
+            break
+        lines[i] = f"the {pattern} crossed the river\n"
+        planted += 1
+    if planted < match_lines:
+        raise ValueError("could not plant all matches; enlarge the file")
+    data = "".join(lines).encode("ascii")
+    if len(data) > total_bytes:
+        # Trim filler from the end, then restore the final newline.
+        data = data[:total_bytes - 1] + b"\n"
+    elif len(data) < total_bytes:
+        # Planted lines are shorter than the filler they replaced: pad.
+        pad = total_bytes - len(data)
+        data += b"x" * (pad - 1) + b"\n"
+    return data
+
+
+def count_matching_lines(data: bytes, pattern: str = PAPER_PATTERN) -> int:
+    """Reference line-match count (oracle for the grep kernel)."""
+    needle = pattern.encode("ascii")
+    return sum(1 for line in data.split(b"\n") if needle in line)
+
+
+def matching_line_bytes(data: bytes, pattern: str = PAPER_PATTERN) -> int:
+    """Total bytes of matching lines (what the active handler ships)."""
+    needle = pattern.encode("ascii")
+    return sum(len(line) + 1 for line in data.split(b"\n") if needle in line)

@@ -1,0 +1,80 @@
+"""Zipfian key distributions — skewed variants of the paper's workloads.
+
+The paper's sort keys follow "a unified [uniform] key distribution" and
+its formula p/(3p-2) assumes balanced ranges.  Real Datamation-style
+data is often skewed; a Zipf(s) draw over the key space concentrates
+records in few ranges, so a static uniform range partition leaves one
+node owning most of the data.  :mod:`repro.experiments.ablations` uses
+this to measure how skew erodes the distribution-phase balance for both
+the normal and active systems.
+
+The sampler uses the classical inverse-CDF over a truncated harmonic
+series, deterministic under a seed.
+"""
+
+from __future__ import annotations
+
+import bisect
+import random
+from typing import List
+
+from .datamation import KEY_BYTES
+
+
+def zipf_cdf(num_values: int, exponent: float) -> List[float]:
+    """Cumulative distribution of Zipf(``exponent``) over ranks
+    1..``num_values``."""
+    if num_values <= 0:
+        raise ValueError("need at least one value")
+    if exponent < 0:
+        raise ValueError("exponent must be non-negative")
+    weights = [1.0 / (rank ** exponent) for rank in range(1, num_values + 1)]
+    total = sum(weights)
+    cdf = []
+    acc = 0.0
+    for weight in weights:
+        acc += weight
+        cdf.append(acc / total)
+    return cdf
+
+
+def generate_zipf_keys(num_records: int, exponent: float = 1.0,
+                       num_values: int = 1024,
+                       seed: int = 31) -> List[bytes]:
+    """10-byte keys whose values follow a Zipf(``exponent``) law.
+
+    ``exponent=0`` degenerates to uniform over the ``num_values``
+    distinct keys; larger exponents concentrate mass on low ranks.
+    Ranks map to key-space positions via a seeded shuffle so the hot
+    keys are scattered (not all in one range by construction).
+    """
+    if num_records <= 0:
+        raise ValueError("need at least one record")
+    rng = random.Random(seed)
+    cdf = zipf_cdf(num_values, exponent)
+    # Scatter ranks across the key space deterministically.
+    space = 1 << (8 * KEY_BYTES)
+    positions = [space * (i + rng.random()) / num_values
+                 for i in range(num_values)]
+    rng.shuffle(positions)
+    keys = []
+    for _ in range(num_records):
+        rank = bisect.bisect_left(cdf, rng.random())
+        value = min(int(positions[rank]), space - 1)
+        keys.append(value.to_bytes(KEY_BYTES, "big"))
+    return keys
+
+
+def partition_imbalance(keys: List[bytes], num_nodes: int) -> float:
+    """max/mean records per node under uniform range partitioning.
+
+    1.0 = perfectly balanced; p = everything on one node.
+    """
+    if num_nodes <= 0:
+        raise ValueError("need at least one node")
+    counts = [0] * num_nodes
+    shift = 8 * KEY_BYTES
+    for key in keys:
+        counts[(int.from_bytes(key, "big") * num_nodes) >> shift] += 1
+    mean = len(keys) / num_nodes
+    return max(counts) / mean if mean else 0.0

@@ -1,0 +1,136 @@
+"""End-to-end functional correctness: active partitionings produce the
+same answers as host-only execution.
+
+The timing model can only be trusted if the *functional* halves of the
+partitioned applications are equivalent — these tests run both sides'
+data transformations and compare against oracles.
+"""
+
+import pytest
+
+from repro.apps.grep import GrepApp, LiteralMatcher
+from repro.apps.hashjoin import HashJoinApp
+from repro.apps.mpeg_filter import MpegFilterApp
+from repro.apps.sort import SortApp
+from repro.workloads import datamation, mpeg, records
+
+
+# ----------------------------------------------------------------------
+# MPEG: the filtered stream contains exactly the I frames
+# ----------------------------------------------------------------------
+def test_mpeg_filter_output_is_exactly_the_i_frames():
+    stream = mpeg.generate_stream(total_bytes=300_000)
+    # The handler's functional job: drop non-I frames.
+    kept = b"".join(
+        stream.data[f.offset:f.offset + f.total_bytes]
+        for f in stream.frames if f.is_intra)
+    # Re-parse the filtered stream: every frame must be I-type and the
+    # frame sequence must equal the I-subsequence of the original.
+    refiltered = mpeg.parse_frames(kept)
+    assert all(f.frame_type == mpeg.FRAME_I for f in refiltered)
+    original_i = [f.total_bytes for f in stream.frames if f.is_intra]
+    assert [f.total_bytes for f in refiltered] == original_i
+
+
+def test_mpeg_app_block_accounting_matches_stream():
+    app = MpegFilterApp(scale=0.2)
+    assert sum(b.nbytes for b in app.blocks) == len(app.stream.data)
+    assert sum(b.out_bytes for b in app.blocks) == app.total_i_bytes
+    i_bytes = sum(f.total_bytes for f in app.stream.frames if f.is_intra)
+    assert app.total_i_bytes == i_bytes
+
+
+# ----------------------------------------------------------------------
+# HashJoin: the filtered join equals the unfiltered oracle join
+# ----------------------------------------------------------------------
+def test_hashjoin_filtered_join_equals_oracle_join():
+    app = HashJoinApp(scale=1 / 256)
+    r_keys = set(app.r_table.keys)
+    bv = app.bit_vector
+    bits = len(bv) * 8
+
+    # Oracle: join without any filter.
+    oracle_matches = [k for k in app.s_table.keys if k in r_keys]
+
+    # Active path: bit-vector filter at the switch, join at the host.
+    survivors = [k for k in app.s_table.keys
+                 if bv[(hash(k) % bits) >> 3] & (1 << ((hash(k) % bits) & 7))]
+    joined = [k for k in survivors if k in r_keys]
+
+    assert joined == oracle_matches  # no false negatives, ever
+    assert len(survivors) >= len(oracle_matches)  # false positives allowed
+
+
+def test_hashjoin_block_out_bytes_match_pass_counts():
+    app = HashJoinApp(scale=1 / 256)
+    s_blocks = app.blocks[app.r_phase_blocks:]
+    total_out = sum(b.out_bytes for b in s_blocks)
+    assert total_out == app.s_passing * records.RECORD_BYTES
+    # R blocks pass through entirely.
+    r_blocks = app.blocks[:app.r_phase_blocks]
+    assert all(b.out_bytes == b.nbytes for b in r_blocks)
+
+
+# ----------------------------------------------------------------------
+# Sort: redistribution is a permutation and ranges are disjoint
+# ----------------------------------------------------------------------
+def test_sort_redistribution_is_a_permutation():
+    app = SortApp(scale=1 / 1024)
+    assert app.distribution_is_conservative()
+
+
+def test_sort_switch_routing_equals_host_routing():
+    """The switch handler and the host use the same range partition."""
+    keys = datamation.generate_keys(2000, seed=23)
+    boundaries = datamation.range_boundaries(4)
+    for key in keys:
+        host_choice = datamation.assign_node(key, boundaries)
+        switch_choice = (int.from_bytes(key, "big") * 4) >> 80
+        assert host_choice == switch_choice
+
+
+def test_sort_globally_sorted_after_distribution_and_local_sort():
+    """Concatenating the per-node sorted slices yields a total order —
+    the property the one-pass parallel sort depends on."""
+    num_nodes = 4
+    keys = datamation.generate_keys(4000, seed=29)
+    buckets = [[] for _ in range(num_nodes)]
+    for key in keys:
+        owner = (int.from_bytes(key, "big") * num_nodes) >> 80
+        buckets[owner].append(key)
+    combined = []
+    for bucket in buckets:
+        combined.extend(sorted(bucket))
+    assert combined == sorted(keys)
+
+
+# ----------------------------------------------------------------------
+# Grep: streamed (active) search equals whole-file (host) search
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("chunk_size", [64, 512, 4096])
+def test_grep_streamed_equals_whole_file(chunk_size):
+    app = GrepApp(scale=0.05)
+    matcher = LiteralMatcher(app.pattern.encode("ascii"))
+    _, whole = matcher.feed(app.data)
+
+    state = 0
+    streamed = 0
+    for offset in range(0, len(app.data), chunk_size):
+        state, ends = matcher.feed(app.data[offset:offset + chunk_size],
+                                   state)
+        streamed += len(ends)
+    assert streamed == len(whole)
+
+
+def test_grep_app_totals_are_chunking_invariant():
+    counts = set()
+    match_bytes = set()
+    for request in (8 * 1024, 32 * 1024):
+        class Chunked(GrepApp):
+            request_bytes = request
+
+        app = Chunked(scale=0.1)
+        counts.add(app.total_matches)
+        match_bytes.add(app.total_match_bytes)
+    assert len(counts) == 1
+    assert len(match_bytes) == 1

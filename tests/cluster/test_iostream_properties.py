@@ -1,0 +1,96 @@
+"""Property tests for the I/O stream and the bulk pipeline."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster import ClusterConfig, ReadStream, System
+from repro.net import HEADER_BYTES, MTU, Message
+
+
+@given(total=st.integers(min_value=1, max_value=4 * 1024 * 1024),
+       request=st.sampled_from([4096, 32768, 65536, 262144]))
+@settings(max_examples=30, deadline=None)
+def test_property_blocks_tile_the_stream_exactly(total, request):
+    """Block sizes are positive, at most the request size, and sum to
+    the stream total; offsets are contiguous."""
+    system = System(ClusterConfig())
+    stream = ReadStream(system, system.host, total_bytes=total,
+                        request_bytes=request)
+    sizes = [stream._block_size(i) for i in range(stream.num_blocks)]
+    assert all(0 < s <= request for s in sizes)
+    assert sum(sizes) == total
+    assert sizes[:-1] == [request] * (stream.num_blocks - 1)
+
+
+@given(size=st.integers(min_value=0, max_value=100_000))
+@settings(max_examples=60, deadline=None)
+def test_property_packetize_conserves_bytes(size):
+    """Packet payloads sum to the message size; only the last packet is
+    marked last; sequence numbers are dense."""
+    message = Message("a", "b", size_bytes=size)
+    packets = message.packetize()
+    assert sum(p.payload_bytes for p in packets) == size
+    assert [p.seq for p in packets] == list(range(len(packets)))
+    assert [p.last for p in packets] == [False] * (len(packets) - 1) + [True]
+    assert all(p.payload_bytes <= MTU for p in packets)
+    assert message.wire_bytes == size + len(packets) * HEADER_BYTES
+    assert all(p.message_bytes == size for p in packets)
+
+
+@given(request=st.sampled_from([8192, 65536, 262144]),
+       depth=st.integers(min_value=1, max_value=4))
+@settings(max_examples=10, deadline=None)
+def test_property_deeper_streams_never_slower(request, depth):
+    """For a fixed workload, a deeper stream finishes no later than a
+    synchronous one."""
+    def run(d):
+        system = System(ClusterConfig())
+        stream = ReadStream(system, system.host, total_bytes=512 * 1024,
+                            request_bytes=request, depth=d)
+
+        def consumer(env):
+            for _ in range(stream.num_blocks):
+                arrival = yield from stream.next_block()
+                yield from stream.consume_fully(arrival)
+                yield from system.host.cpu.work(busy_cycles=100_000)
+                yield from stream.done_with(arrival)
+
+        proc = system.env.process(consumer(system.env))
+        system.env.run(until=proc)
+        return system.env.now
+
+    assert run(depth) <= run(1)
+
+
+def test_traffic_conservation_through_pipeline():
+    """Bytes accounted at the host equal bytes served by storage."""
+    system = System(ClusterConfig())
+    stream = ReadStream(system, system.host, total_bytes=300_000,
+                        request_bytes=65536)
+
+    def consumer(env):
+        for _ in range(stream.num_blocks):
+            arrival = yield from stream.next_block()
+            yield from stream.consume_fully(arrival)
+            yield from stream.done_with(arrival)
+
+    proc = system.env.process(consumer(system.env))
+    system.env.run(until=proc)
+    assert system.host.hca.traffic.bytes_in == 300_000
+    assert system.storage.disks.bytes_read == 300_000
+    assert system.storage.tca.traffic.bytes_out == 300_000
+
+
+@given(nbytes=st.integers(min_value=1, max_value=10_000_000))
+@settings(max_examples=40, deadline=None)
+def test_property_tails_positive_and_ordered(nbytes):
+    """First-data tail exceeds last-data tail by the first MTU's disk
+    time; host destinations cost strictly more than switch ones."""
+    system = System(ClusterConfig())
+    for to_switch in (True, False):
+        first = system.first_data_tail_ps(to_switch)
+        last = system.last_data_tail_ps(to_switch)
+        assert first > last > 0
+    assert (system.first_data_tail_ps(False)
+            > system.first_data_tail_ps(True))

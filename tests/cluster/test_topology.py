@@ -1,0 +1,93 @@
+"""Unit tests for the switch-tree topology builder."""
+
+import pytest
+
+from repro.cluster.topology import SwitchTree
+from repro.net import Message
+from repro.sim import Environment
+
+
+def test_single_leaf_for_few_hosts():
+    tree = SwitchTree(Environment(), num_hosts=8)
+    assert tree.depth == 1
+    assert len(tree.levels[0]) == 1
+    assert tree.root is tree.levels[0][0]
+
+
+def test_two_leaves_get_a_root():
+    tree = SwitchTree(Environment(), num_hosts=16)
+    assert tree.depth == 2
+    assert len(tree.levels[0]) == 2
+    assert tree.root.fan_in == 2
+
+
+def test_128_hosts_paper_topology():
+    tree = SwitchTree(Environment(), num_hosts=128)
+    assert len(tree.levels[0]) == 16
+    assert tree.depth == 3
+    assert len(tree.switches) == 16 + 2 + 1
+
+
+def test_every_host_has_a_leaf():
+    tree = SwitchTree(Environment(), num_hosts=20)
+    for host in tree.hosts:
+        leaf = tree.leaf_of(host)
+        assert host in leaf.hosts
+
+
+def test_leaf_of_unknown_host_raises():
+    tree = SwitchTree(Environment(), num_hosts=8)
+    other = SwitchTree(Environment(), num_hosts=8)
+    with pytest.raises(ValueError):
+        tree.leaf_of(other.hosts[0])
+
+
+def test_subtree_host_bookkeeping():
+    tree = SwitchTree(Environment(), num_hosts=64)
+    assert sorted(tree.root.subtree_hosts) == sorted(
+        h.name for h in tree.hosts)
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        SwitchTree(Environment(), num_hosts=0)
+    with pytest.raises(ValueError):
+        SwitchTree(Environment(), num_hosts=8, hosts_per_leaf=16,
+                   switch_ports=16)
+
+
+def test_cross_leaf_message_routes_through_tree():
+    """host0 -> host15 crosses two leaves and the root."""
+    env = Environment()
+    tree = SwitchTree(env, num_hosts=16)
+    src, dst = tree.hosts[0], tree.hosts[15]
+
+    def sender(env):
+        yield from src.hca.transmit(Message(src.name, dst.name, 256))
+
+    def receiver(env):
+        return (yield dst.recv_queue.get()) if False else (
+            yield dst.hca.recv_queue.get())
+
+    env.process(sender(env))
+    proc = env.process(receiver(env))
+    message = env.run(until=proc)
+    assert message.size_bytes == 256
+    assert tree.root.switch.stats.forwarded >= 1
+
+
+def test_same_leaf_message_stays_local():
+    env = Environment()
+    tree = SwitchTree(env, num_hosts=16)
+    src, dst = tree.hosts[0], tree.hosts[1]  # same leaf
+
+    def sender(env):
+        yield from src.hca.transmit(Message(src.name, dst.name, 64))
+
+    def receiver(env):
+        return (yield dst.hca.recv_queue.get())
+
+    env.process(sender(env))
+    proc = env.process(receiver(env))
+    env.run(until=proc)
+    assert tree.root.switch.stats.forwarded == 0

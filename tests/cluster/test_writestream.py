@@ -1,0 +1,87 @@
+"""Unit tests for WriteStream."""
+
+import pytest
+
+from repro.cluster import ClusterConfig, System
+from repro.cluster.iostream import WriteStream
+from repro.sim.units import ms, us
+
+
+def make_stream(depth=1, request_cost="os"):
+    system = System(ClusterConfig())
+    stream = WriteStream(system, system.host, request_bytes=64 * 1024,
+                         depth=depth, request_cost=request_cost)
+    return system, stream
+
+
+def run_writes(system, stream, count):
+    def writer(env):
+        for _ in range(count):
+            yield from stream.write_block()
+        yield from stream.drain()
+
+    proc = system.env.process(writer(system.env))
+    system.env.run(until=proc)
+
+
+def test_writes_commit_all_bytes():
+    system, stream = make_stream()
+    run_writes(system, stream, 4)
+    assert stream.bytes_written == 4 * 64 * 1024
+    assert system.storage.disks.bytes_written == 4 * 64 * 1024
+
+
+def test_write_traffic_accounted_out():
+    system, stream = make_stream()
+    run_writes(system, stream, 2)
+    assert system.host.hca.traffic.bytes_out == 2 * 64 * 1024
+
+
+def test_from_switch_writes_bypass_host_accounting():
+    system = System(ClusterConfig(active=True))
+    stream = WriteStream(system, system.host, request_bytes=64 * 1024,
+                         from_switch=True, request_cost="none")
+    run_writes(system, stream, 2)
+    assert system.host.hca.traffic.bytes_out == 0
+
+
+def test_os_cost_charged_per_write():
+    system, stream = make_stream()
+    run_writes(system, stream, 3)
+    expected = 3 * (us(30) + 64 * us(0.27))
+    assert system.host.cpu.accounting.busy_ps == expected
+
+
+def test_depth_two_overlaps_writes():
+    def total_time(depth):
+        system, stream = make_stream(depth=depth)
+
+        def writer(env):
+            for _ in range(6):
+                yield from stream.write_block()
+                yield from system.host.cpu.work(busy_cycles=600_000)  # 300us
+            yield from stream.drain()
+
+        proc = system.env.process(writer(system.env))
+        system.env.run(until=proc)
+        return system.env.now
+
+    assert total_time(2) < total_time(1)
+
+
+def test_sequential_writes_skip_positioning():
+    system, stream = make_stream()
+    run_writes(system, stream, 3)
+    disk0 = system.storage.disks.disks[0]
+    assert disk0.stats.sequential_requests == 2
+
+
+def test_validation():
+    system = System(ClusterConfig())
+    with pytest.raises(ValueError):
+        WriteStream(system, system.host, request_bytes=0)
+    with pytest.raises(ValueError):
+        WriteStream(system, system.host, request_bytes=1, depth=0)
+    stream = WriteStream(system, system.host, request_bytes=1024)
+    with pytest.raises(ValueError):
+        list(stream.write_block(0))

@@ -1,0 +1,70 @@
+"""Unit tests for CPU time accounting and breakdowns."""
+
+import pytest
+
+from repro.cpu import Breakdown, CpuAccounting
+
+
+def test_breakdown_idle_is_remainder():
+    b = Breakdown("x", exec_ps=100, busy_ps=40, stall_ps=25)
+    assert b.idle_ps == 35
+    assert b.busy_frac == pytest.approx(0.40)
+    assert b.stall_frac == pytest.approx(0.25)
+    assert b.idle_frac == pytest.approx(0.35)
+
+
+def test_breakdown_utilization_matches_paper_definition():
+    # utilization = (1 - idle/exec)
+    b = Breakdown("x", exec_ps=200, busy_ps=100, stall_ps=50)
+    assert b.utilization == pytest.approx(0.75)
+
+
+def test_breakdown_idle_clamped_nonnegative():
+    b = Breakdown("x", exec_ps=10, busy_ps=20, stall_ps=0)
+    assert b.idle_ps == 0
+
+
+def test_breakdown_zero_exec_time():
+    b = Breakdown("x", exec_ps=0, busy_ps=0, stall_ps=0)
+    assert b.utilization == 0.0
+    assert b.busy_frac == 0.0
+
+
+def test_accounting_accumulates():
+    acc = CpuAccounting("cpu")
+    acc.add_busy(10)
+    acc.add_busy(5)
+    acc.add_stall(3)
+    assert acc.busy_ps == 15
+    assert acc.stall_ps == 3
+
+
+def test_accounting_rejects_negative():
+    acc = CpuAccounting("cpu")
+    with pytest.raises(ValueError):
+        acc.add_busy(-1)
+    with pytest.raises(ValueError):
+        acc.add_stall(-1)
+
+
+def test_accounting_finalize():
+    acc = CpuAccounting("cpu")
+    acc.add_busy(60)
+    acc.add_stall(20)
+    b = acc.finalize(exec_ps=100)
+    assert b.label == "cpu"
+    assert b.idle_ps == 20
+
+
+def test_accounting_reset():
+    acc = CpuAccounting("cpu")
+    acc.add_busy(60)
+    acc.reset()
+    assert acc.busy_ps == 0
+    assert acc.stall_ps == 0
+
+
+def test_breakdown_str_contains_fractions():
+    text = str(Breakdown("n-HP", exec_ps=100, busy_ps=50, stall_ps=25))
+    assert "n-HP" in text
+    assert "50.0%" in text

@@ -1,0 +1,145 @@
+"""Unit tests for host and switch CPU models."""
+
+import pytest
+
+from repro.cpu import HostCPU, SwitchCPU
+from repro.mem import build_host_hierarchy
+from repro.sim import Clock, Environment
+
+
+def make_host(env):
+    clock = Clock(2_000_000_000)
+    return HostCPU(env, build_host_hierarchy(clock), clock=clock)
+
+
+def test_host_clock_is_2ghz():
+    env = Environment()
+    assert make_host(env).clock.period_ps == 500
+
+
+def test_switch_clock_is_500mhz():
+    env = Environment()
+    assert SwitchCPU(env).clock.period_ps == 2000
+
+
+def test_host_is_4x_switch_speed():
+    env = Environment()
+    host = make_host(env)
+    switch = SwitchCPU(env)
+    assert switch.clock.period_ps == 4 * host.clock.period_ps
+
+
+def test_host_work_advances_time_and_accounts():
+    env = Environment()
+    host = make_host(env)
+
+    def program(env):
+        yield from host.work(busy_cycles=1000, stall_ps=500)
+
+    env.process(program(env))
+    env.run()
+    assert env.now == 1000 * 500 + 500
+    assert host.accounting.busy_ps == 500_000
+    assert host.accounting.stall_ps == 500
+
+
+def test_host_zero_work_takes_no_time():
+    env = Environment()
+    host = make_host(env)
+
+    def program(env):
+        yield from host.work(busy_cycles=0)
+        return env.now
+
+    proc = env.process(program(env))
+    assert env.run(until=proc) == 0
+
+
+def test_host_busy_and_stall_buckets_separate():
+    env = Environment()
+    host = make_host(env)
+
+    def program(env):
+        yield from host.busy(1000)
+        yield from host.stall(2000)
+
+    env.process(program(env))
+    env.run()
+    assert host.accounting.busy_ps == 1000
+    assert host.accounting.stall_ps == 2000
+
+
+def test_host_reference_cost_uses_hierarchy():
+    env = Environment()
+    host = make_host(env)
+    stall = host.reference_cost(loads=[0x1000])
+    assert stall > 0  # cold miss
+    assert host.reference_cost(loads=[0x1000]) == 0  # warm
+
+
+def test_host_scan_cost():
+    env = Environment()
+    host = make_host(env)
+    assert host.scan_cost(0, 4096) > 0
+    assert host.scan_cost(0, 4096) == 0  # resident now
+
+
+def test_switch_work_is_slower_per_cycle():
+    env = Environment()
+    host = make_host(env)
+    switch = SwitchCPU(env)
+
+    def host_prog(env):
+        yield from host.work(busy_cycles=100)
+        return env.now
+
+    proc = env.process(host_prog(env))
+    host_time = env.run(until=proc)
+
+    env2 = Environment()
+    switch2 = SwitchCPU(env2)
+
+    def switch_prog(env):
+        yield from switch2.work(busy_cycles=100)
+        return env.now
+
+    proc2 = env2.process(switch_prog(env2))
+    switch_time = env2.run(until=proc2)
+    assert switch_time == 4 * host_time
+
+
+def test_switch_isa_extension_charges():
+    env = Environment()
+    switch = SwitchCPU(env)
+
+    def program(env):
+        yield from switch.send_buffer()
+        yield from switch.release_buffer()
+
+    env.process(program(env))
+    env.run()
+    # 4 + 2 cycles at 2000 ps.
+    assert switch.accounting.busy_ps == 6 * 2000
+
+
+def test_switch_has_tiny_caches():
+    env = Environment()
+    switch = SwitchCPU(env)
+    assert switch.hierarchy.l1d.config.size_bytes == 1024
+    assert switch.hierarchy.l2 is None
+
+
+def test_switch_cache_cost_warm_vs_cold():
+    env = Environment()
+    switch = SwitchCPU(env)
+    cold = switch.cache_cost(0x100)
+    warm = switch.cache_cost(0x100)
+    assert cold > 0
+    assert warm == 0
+
+
+def test_switch_ids_distinguish_cores():
+    env = Environment()
+    cpus = [SwitchCPU(env, cpu_id=i) for i in range(4)]
+    assert [c.name for c in cpus] == [
+        "switch-cpu0", "switch-cpu1", "switch-cpu2", "switch-cpu3"]

@@ -1,0 +1,54 @@
+"""Fast unit tests for the ablation experiments (small parameters)."""
+
+import pytest
+
+from repro.experiments.ablations import (
+    ablate_buffer_count,
+    ablate_clock_ratio,
+    ablate_cut_through,
+    ablate_filter_placement,
+    ablate_noninterference,
+    ablate_prefetch_depth,
+    measure_forwarding_latency,
+)
+
+
+def test_cut_through_beats_store_and_forward():
+    times = ablate_cut_through(scale=0.25)
+    assert times["cut-through"] < times["store-and-forward"]
+    assert times["overlap benefit"] > 1.0
+
+
+def test_buffer_count_more_never_hurts():
+    rows = ablate_buffer_count(counts=(2, 16))
+    by_count = {row["buffers"]: row["latency_us"] for row in rows}
+    assert by_count[16] <= by_count[2] * 1.01
+
+
+def test_clock_ratio_monotone():
+    rows = ablate_clock_ratio(scale=0.25, freqs=(500e6, 2e9))
+    speedups = [row["speedup"] for row in rows]
+    assert speedups[0] < speedups[1]
+
+
+def test_prefetch_depth_two_is_enough():
+    rows = ablate_prefetch_depth(scale=1 / 128, depths=(1, 2, 4))
+    by_depth = {row["depth"]: row["exec_ms"] for row in rows}
+    assert by_depth[2] < by_depth[1]
+    assert by_depth[4] == pytest.approx(by_depth[2], rel=0.02)
+
+
+def test_noninterference_slowdown_is_unity():
+    result = ablate_noninterference(probes=5)
+    assert result["slowdown"] == pytest.approx(1.0, abs=0.05)
+
+
+def test_forwarding_latency_is_submicrosecond():
+    latency = measure_forwarding_latency(active_load=False, probes=3)
+    assert latency < 2.0  # us
+
+
+def test_filter_placement_single_cpu_has_headroom():
+    result = ablate_filter_placement(scale=1 / 256, num_streams=2)
+    assert result["switch_cpu_busy_frac"] < 0.5
+    assert result["streams"] == 2.0

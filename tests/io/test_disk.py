@@ -1,0 +1,140 @@
+"""Unit tests for disk and disk-array models."""
+
+import pytest
+
+from repro.io import Disk, DiskArray, DiskConfig
+from repro.sim import Environment
+from repro.sim.units import ms, seconds
+
+
+def test_first_read_pays_positioning():
+    env = Environment()
+    disk = Disk(env, "d0")
+
+    def reader(env):
+        yield from disk.read(0, 1024)
+        return env.now
+
+    proc = env.process(reader(env))
+    elapsed = env.run(until=proc)
+    config = disk.config
+    expected = (config.seek_ps + config.half_rotation_ps
+                + round(1024 / config.bandwidth_bytes_per_s * 1e12))
+    assert elapsed == expected
+
+
+def test_sequential_read_skips_positioning():
+    env = Environment()
+    disk = Disk(env, "d0")
+    times = []
+
+    def reader(env):
+        yield from disk.read(0, 1024)
+        times.append(env.now)
+        yield from disk.read(1024, 1024)  # continues where we left off
+        times.append(env.now)
+
+    env.process(reader(env))
+    env.run()
+    first = times[0]
+    second_duration = times[1] - times[0]
+    assert second_duration < first  # no seek the second time
+    assert disk.stats.sequential_requests == 1
+
+
+def test_random_read_pays_positioning_again():
+    env = Environment()
+    disk = Disk(env, "d0")
+
+    def reader(env):
+        yield from disk.read(0, 1024)
+        yield from disk.read(10_000_000, 1024)
+
+    env.process(reader(env))
+    env.run()
+    assert disk.stats.sequential_requests == 0
+    assert disk.stats.positioning_ps == 2 * (disk.config.seek_ps
+                                             + disk.config.half_rotation_ps)
+
+
+def test_half_rotation_latency_10000rpm():
+    config = DiskConfig(rpm=10_000)
+    # 10 000 rpm = 6 ms/rev -> 3 ms half rotation.
+    assert config.half_rotation_ps == ms(3)
+
+
+def test_disk_arm_serializes_requests():
+    env = Environment()
+    disk = Disk(env, "d0")
+    completions = []
+
+    def reader(env, offset):
+        yield from disk.read(offset, 50_000_000)  # 1 s of transfer at 50 MB/s
+        completions.append(env.now)
+
+    env.process(reader(env, 0))
+    env.process(reader(env, 50_000_000))
+    env.run()
+    # The second (sequential) read cannot start before the first ends.
+    assert completions[1] >= completions[0] + seconds(1) - ms(1)
+
+
+def test_array_aggregate_bandwidth():
+    env = Environment()
+    array = DiskArray(env, num_disks=2)
+    assert array.aggregate_bandwidth == pytest.approx(100e6)
+
+
+def test_array_parallel_read_takes_half_the_time():
+    env = Environment()
+    single = Disk(env, "solo")
+    array = DiskArray(env, num_disks=2)
+
+    def read_array(env):
+        yield from array.read(0, 10_000_000)
+        return env.now
+
+    proc = env.process(read_array(env))
+    array_time = env.run(until=proc)
+
+    env2 = Environment()
+    solo = Disk(env2, "solo")
+
+    def read_single(env):
+        yield from solo.read(0, 10_000_000)
+        return env.now
+
+    proc2 = env2.process(read_single(env2))
+    single_time = env2.run(until=proc2)
+    assert array_time < single_time
+    # 10 MB at 100 MB/s ~ 0.1 s (plus positioning); at 50 MB/s ~ 0.2 s.
+    assert array_time == pytest.approx(single_time / 2, rel=0.1)
+
+
+def test_array_transfer_analytic():
+    env = Environment()
+    array = DiskArray(env, num_disks=2)
+    # 100 MB at 100 MB/s = 1 s.
+    assert array.transfer_ps(100_000_000) == seconds(1)
+
+
+def test_read_size_validation():
+    env = Environment()
+    disk = Disk(env, "d0")
+    with pytest.raises(ValueError):
+        list(disk.read(0, 0))
+    array = DiskArray(env)
+    with pytest.raises(ValueError):
+        list(array.read(0, -1))
+
+
+def test_config_validation():
+    with pytest.raises(ValueError):
+        DiskConfig(seek_ps=-1)
+    with pytest.raises(ValueError):
+        DiskConfig(rpm=0)
+    with pytest.raises(ValueError):
+        DiskConfig(bandwidth_bytes_per_s=0)
+    env = Environment()
+    with pytest.raises(ValueError):
+        DiskArray(env, num_disks=0)

@@ -1,0 +1,81 @@
+"""Unit and property tests for the TLB model."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mem import TLB, TLBConfig
+
+
+def test_cold_miss_then_hit():
+    tlb = TLB(TLBConfig("t", entries=4))
+    assert not tlb.access(0x1000)
+    assert tlb.access(0x1000)
+
+
+def test_same_page_hits():
+    tlb = TLB(TLBConfig("t", entries=4, page_size=4096))
+    tlb.access(0x0)
+    assert tlb.access(0xFFF)
+    assert not tlb.access(0x1000)
+
+
+def test_lru_replacement():
+    tlb = TLB(TLBConfig("t", entries=2, page_size=4096))
+    tlb.access(0x0000)  # page 0
+    tlb.access(0x1000)  # page 1
+    tlb.access(0x0000)  # touch page 0
+    tlb.access(0x2000)  # page 2 evicts page 1
+    assert tlb.access(0x0000)
+    assert not tlb.access(0x1000)
+
+
+def test_flush():
+    tlb = TLB(TLBConfig("t", entries=4))
+    tlb.access(0x0)
+    tlb.flush()
+    assert not tlb.access(0x0)
+
+
+def test_stats():
+    tlb = TLB(TLBConfig("t", entries=64))
+    tlb.access(0x0)
+    tlb.access(0x0)
+    assert tlb.stats.accesses == 2
+    assert tlb.stats.misses == 1
+    assert tlb.stats.miss_rate == pytest.approx(0.5)
+
+
+def test_config_validation():
+    with pytest.raises(ValueError):
+        TLBConfig("t", entries=0)
+    with pytest.raises(ValueError):
+        TLBConfig("t", page_size=1000)
+
+
+def test_sequential_scan_miss_rate_matches_page_granularity():
+    # Scanning 64 KB with 4 KB pages through a large TLB: 16 misses.
+    tlb = TLB(TLBConfig("t", entries=64, page_size=4096))
+    for addr in range(0, 64 * 1024, 32):
+        tlb.access(addr)
+    assert tlb.stats.misses == 16
+
+
+@given(addrs=st.lists(st.integers(min_value=0, max_value=1 << 30),
+                      min_size=1, max_size=300))
+@settings(max_examples=50, deadline=None)
+def test_property_capacity_never_exceeded(addrs):
+    tlb = TLB(TLBConfig("t", entries=8))
+    for addr in addrs:
+        tlb.access(addr)
+        assert len(tlb._pages) <= 8
+
+
+@given(addrs=st.lists(st.integers(min_value=0, max_value=1 << 30),
+                      min_size=1, max_size=300))
+@settings(max_examples=50, deadline=None)
+def test_property_rereference_hits(addrs):
+    tlb = TLB(TLBConfig("t", entries=16))
+    for addr in addrs:
+        tlb.access(addr)
+        assert tlb.access(addr)

@@ -1,0 +1,64 @@
+"""Tests for CSV export."""
+
+import csv
+import io
+
+import pytest
+
+from repro.metrics import (
+    benchmark_result_rows,
+    benchmark_result_to_csv,
+    rows_to_csv,
+)
+
+import sys, pathlib
+sys.path.insert(0, str(pathlib.Path(__file__).parent))
+from test_report_golden import golden_result
+
+
+def test_rows_cover_all_cases():
+    rows = list(benchmark_result_rows(golden_result()))
+    assert {row["case"] for row in rows} == {
+        "normal", "normal+pref", "active", "active+pref"}
+    normal = next(r for r in rows if r["case"] == "normal")
+    assert normal["normalized_time"] == 1.0
+    assert normal["switch_busy_frac"] == ""
+
+
+def test_csv_parses_back():
+    text = benchmark_result_to_csv(golden_result())
+    parsed = list(csv.DictReader(io.StringIO(text)))
+    assert len(parsed) == 4
+    active = next(r for r in parsed if r["case"] == "active")
+    assert float(active["normalized_traffic"]) == 0.25
+
+
+def test_csv_writes_to_file(tmp_path):
+    out = tmp_path / "result.csv"
+    benchmark_result_to_csv(golden_result(), path=str(out))
+    assert out.read_text().startswith("benchmark,case,")
+
+
+def test_rows_to_csv_roundtrip(tmp_path):
+    rows = [{"nodes": 2, "speedup": 0.98}, {"nodes": 128, "speedup": 5.0}]
+    text = rows_to_csv(rows)
+    parsed = list(csv.DictReader(io.StringIO(text)))
+    assert parsed[1]["nodes"] == "128"
+    out = tmp_path / "sweep.csv"
+    rows_to_csv(rows, path=str(out))
+    assert out.exists()
+
+
+def test_rows_to_csv_validation():
+    with pytest.raises(ValueError):
+        rows_to_csv([])
+    with pytest.raises(ValueError):
+        rows_to_csv([{"a": 1}, {"b": 2}])
+
+
+def test_sweep_export_from_real_experiment():
+    from repro.apps.reduction import reduction_sweep, REDUCE_TO_ONE
+    rows = reduction_sweep(REDUCE_TO_ONE, node_counts=(2, 8))
+    text = rows_to_csv(rows)
+    assert "speedup" in text.splitlines()[0]
+    assert len(text.splitlines()) == 3

@@ -1,0 +1,110 @@
+"""Unit tests for result containers and figure rendering."""
+
+import pytest
+
+from repro.cpu import Breakdown
+from repro.metrics import (
+    BenchmarkResult,
+    CaseResult,
+    breakdown_table,
+    comparison_table,
+    performance_table,
+    render_table,
+)
+
+
+def make_result():
+    def case(label, exec_ps, busy, stall, bytes_in, switch=False):
+        return CaseResult(
+            label=label,
+            exec_ps=exec_ps,
+            host=Breakdown(f"{label}-host", exec_ps, busy, stall),
+            switch_cpus=([Breakdown(f"{label}-sp", exec_ps, busy // 2, 0)]
+                         if switch else []),
+            host_bytes_in=bytes_in,
+        )
+
+    return BenchmarkResult(name="demo", cases={
+        "normal": case("normal", 1000, 300, 100, 10_000),
+        "normal+pref": case("normal+pref", 800, 300, 100, 10_000),
+        "active": case("active", 700, 50, 10, 2_500, switch=True),
+        "active+pref": case("active+pref", 600, 50, 10, 2_500, switch=True),
+    })
+
+
+def test_normalized_time():
+    result = make_result()
+    assert result.normalized_time("normal") == 1.0
+    assert result.normalized_time("active+pref") == pytest.approx(0.6)
+
+
+def test_normalized_traffic():
+    result = make_result()
+    assert result.normalized_traffic("active") == pytest.approx(0.25)
+
+
+def test_speedups():
+    result = make_result()
+    assert result.active_speedup == pytest.approx(1000 / 700)
+    assert result.active_pref_speedup == pytest.approx(800 / 600)
+
+
+def test_utilization():
+    result = make_result()
+    assert result.utilization("normal") == pytest.approx(0.4)
+
+
+def test_traffic_totals_in_and_out():
+    case = CaseResult(label="x", exec_ps=1,
+                      host=Breakdown("h", 1, 0, 0),
+                      host_bytes_in=10, host_bytes_out=5)
+    assert case.host_traffic_bytes == 15
+
+
+def test_breakdown_rows_use_paper_prefixes():
+    result = make_result()
+    rows = result.case("active+pref").breakdown_rows()
+    assert rows[0][0] == "a+p-HP"
+    assert rows[1][0] == "a+p-SP"
+    assert result.case("normal").breakdown_rows()[0][0] == "n-HP"
+
+
+def test_summary_has_all_metrics():
+    summary = make_result().summary()
+    assert set(summary) == {"normal", "normal+pref", "active", "active+pref"}
+    assert set(summary["normal"]) == {
+        "normalized_time", "host_utilization", "normalized_traffic"}
+
+
+def test_performance_table_renders_all_cases():
+    text = performance_table(make_result())
+    for label in ("normal", "normal+pref", "active", "active+pref"):
+        assert label in text
+
+
+def test_breakdown_table_includes_switch_rows():
+    text = breakdown_table(make_result())
+    assert "a-SP" in text
+    assert "n-HP" in text
+    assert "n-SP" not in text
+
+
+def test_render_table_alignment():
+    text = render_table(["a", "bb"], [["1", "2"], ["333", "4"]])
+    lines = text.splitlines()
+    assert len(lines) == 4
+    assert len(set(map(len, lines))) == 1  # all rows equal width
+
+
+def test_comparison_table_handles_missing_paper_value():
+    text = comparison_table("x", [("m1", 1.5, 2.0), ("m2", 3.0, None)])
+    assert "m1" in text
+    assert "-" in text
+
+
+def test_zero_traffic_baseline():
+    result = make_result()
+    for case in result.cases.values():
+        case.host_bytes_in = 0
+        case.host_bytes_out = 0
+    assert result.normalized_traffic("active") == 0.0

@@ -1,0 +1,145 @@
+"""Unit and property tests for time-weighted statistics."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.metrics.sampling import BusyTracker, TimeWeighted
+from repro.sim import Environment
+
+
+def test_constant_value_mean_is_itself():
+    env = Environment()
+    signal = TimeWeighted(env, initial=3.0)
+    env.timeout(1000)
+    env.run()
+    assert signal.mean() == pytest.approx(3.0)
+
+
+def test_step_change_weights_by_duration():
+    env = Environment()
+    signal = TimeWeighted(env, initial=0.0)
+
+    def driver(env):
+        yield env.timeout(900)
+        signal.set(10.0)
+        yield env.timeout(100)
+
+    env.process(driver(env))
+    env.run()
+    # 0 for 900 ps, 10 for 100 ps -> mean 1.0.
+    assert signal.mean() == pytest.approx(1.0)
+
+
+def test_add_tracks_queue_depth():
+    env = Environment()
+    depth = TimeWeighted(env)
+
+    def driver(env):
+        depth.add(+1)
+        yield env.timeout(500)
+        depth.add(+1)
+        yield env.timeout(500)
+        depth.add(-2)
+        yield env.timeout(1000)
+
+    env.process(driver(env))
+    env.run()
+    # 1 for 500, 2 for 500, 0 for 1000 -> 1500/2000 = 0.75.
+    assert depth.mean() == pytest.approx(0.75)
+    assert depth.maximum == 2
+    assert depth.minimum == 0
+
+
+def test_mean_at_zero_span_returns_value():
+    env = Environment()
+    signal = TimeWeighted(env, initial=7.0)
+    assert signal.mean() == 7.0
+
+
+def test_busy_tracker_utilization():
+    env = Environment()
+    tracker = BusyTracker(env)
+
+    def driver(env):
+        tracker.enter()
+        yield env.timeout(250)
+        tracker.exit()
+        yield env.timeout(750)
+
+    env.process(driver(env))
+    env.run()
+    assert tracker.utilization() == pytest.approx(0.25)
+
+
+def test_busy_tracker_nests():
+    env = Environment()
+    tracker = BusyTracker(env)
+
+    def driver(env):
+        tracker.enter()
+        tracker.enter()
+        yield env.timeout(100)
+        tracker.exit()
+        assert tracker.busy
+        yield env.timeout(100)
+        tracker.exit()
+        assert not tracker.busy
+        yield env.timeout(200)
+
+    env.process(driver(env))
+    env.run()
+    assert tracker.utilization() == pytest.approx(0.5)
+
+
+def test_busy_tracker_unbalanced_exit_raises():
+    env = Environment()
+    tracker = BusyTracker(env)
+    with pytest.raises(ValueError):
+        tracker.exit()
+
+
+@given(segments=st.lists(
+    st.tuples(st.floats(min_value=-100, max_value=100,
+                        allow_nan=False, allow_infinity=False),
+              st.integers(min_value=1, max_value=10_000)),
+    min_size=1, max_size=30))
+@settings(max_examples=60, deadline=None)
+def test_property_mean_matches_manual_integration(segments):
+    """The reported mean equals a hand-computed weighted average."""
+    env = Environment()
+    signal = TimeWeighted(env, initial=0.0)
+
+    def driver(env):
+        for value, duration in segments:
+            signal.set(value)
+            yield env.timeout(duration)
+
+    env.process(driver(env))
+    env.run()
+    total = sum(d for _, d in segments)
+    expected = sum(v * d for v, d in segments) / total
+    assert signal.mean() == pytest.approx(expected, rel=1e-9, abs=1e-9)
+
+
+@given(segments=st.lists(st.integers(min_value=1, max_value=1000),
+                         min_size=2, max_size=20))
+@settings(max_examples=40, deadline=None)
+def test_property_utilization_bounded(segments):
+    """Utilization of alternating busy/idle periods stays in [0, 1]."""
+    env = Environment()
+    tracker = BusyTracker(env)
+
+    def driver(env):
+        for index, duration in enumerate(segments):
+            if index % 2 == 0:
+                tracker.enter()
+            yield env.timeout(duration)
+            if index % 2 == 0:
+                tracker.exit()
+
+    env.process(driver(env))
+    env.run()
+    busy = sum(d for i, d in enumerate(segments) if i % 2 == 0)
+    total = sum(segments)
+    assert tracker.utilization() == pytest.approx(busy / total)

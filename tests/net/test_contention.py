@@ -1,0 +1,157 @@
+"""Contention integration tests: shared links, queues, and fan-in."""
+
+import pytest
+
+from repro.net import ChannelAdapter, Link, LinkConfig, Message
+from repro.sim import Environment
+from repro.sim.units import ns, us
+from repro.switch import BaseSwitch, SwitchConfig
+
+
+def star(env, num_endpoints, switch_config=SwitchConfig(),
+         link_config=LinkConfig()):
+    switch = BaseSwitch(env, "sw0", switch_config)
+    adapters = []
+    for i in range(num_endpoints):
+        name = f"ep{i}"
+        to_switch = Link(env, f"{name}->sw0", link_config)
+        from_switch = Link(env, f"sw0->{name}", link_config)
+        adapter = ChannelAdapter(env, name)
+        adapter.attach(tx_link=to_switch, rx_link=from_switch)
+        switch.connect(i, tx_link=from_switch, rx_link=to_switch)
+        switch.routing.add(name, i)
+        adapters.append(adapter)
+    return switch, adapters
+
+
+def test_fan_in_serializes_on_destination_link():
+    """Three senders to one receiver share its downlink: aggregate time
+    is at least the sum of the serialization times."""
+    env = Environment()
+    switch, adapters = star(env, 4)
+    receiver = adapters[3]
+    payload = 16 * 512  # 16 packets each
+
+    def sender(env, adapter):
+        yield from adapter.transmit(Message(adapter.node_id, "ep3", payload))
+
+    for adapter in adapters[:3]:
+        env.process(sender(env, adapter))
+
+    def consume(env):
+        for _ in range(3):
+            yield receiver.recv_queue.get()
+        return env.now
+
+    proc = env.process(consume(env))
+    elapsed = env.run(until=proc)
+    wire_one = 3 * 16 * (512 + 16)  # bytes for all three messages
+    min_time = wire_one * 1000 // 1_000_000_000 * 1_000_000  # ns -> ps
+    assert elapsed >= min_time
+
+
+def test_distinct_destinations_proceed_in_parallel():
+    """Traffic to different output ports does not serialize."""
+    env = Environment()
+    switch, adapters = star(env, 4)
+    payload = 32 * 512
+
+    def exchange(env, src, dst):
+        yield from src.transmit(Message(src.node_id, dst.node_id, payload))
+
+    def consume(env, adapter):
+        yield adapter.recv_queue.get()
+        return env.now
+
+    env.process(exchange(env, adapters[0], adapters[2]))
+    env.process(exchange(env, adapters[1], adapters[3]))
+    done2 = env.process(consume(env, adapters[2]))
+    done3 = env.process(consume(env, adapters[3]))
+    gate = env.all_of([done2, done3])
+    env.run(until=gate)
+    t2, t3 = done2.value, done3.value
+    # Parallel flows finish within one packet time of each other.
+    assert abs(t2 - t3) < us(1)
+
+
+def test_output_queue_capacity_backpressures_input():
+    """A tiny output queue plus a receiver that drains its link slowly
+    stalls the sender via credit exhaustion rather than dropping."""
+    env = Environment()
+    switch = BaseSwitch(env, "sw0",
+                        SwitchConfig(output_queue_packets=2))
+    link_config = LinkConfig(credits=2)
+    # Sender endpoint with a normal adapter.
+    to_switch = Link(env, "ep0->sw0", link_config)
+    from_switch0 = Link(env, "sw0->ep0", link_config)
+    sender_adapter = ChannelAdapter(env, "ep0")
+    sender_adapter.attach(tx_link=to_switch, rx_link=from_switch0)
+    switch.connect(0, tx_link=from_switch0, rx_link=to_switch)
+    switch.routing.add("ep0", 0)
+    # Receiver endpoint consumed manually at the LINK level (a slow NIC).
+    to_switch1 = Link(env, "ep1->sw0", link_config)
+    from_switch1 = Link(env, "sw0->ep1", link_config)
+    switch.connect(1, tx_link=from_switch1, rx_link=to_switch1)
+    switch.routing.add("ep1", 1)
+
+    sent = []
+
+    def sender(env):
+        for i in range(12):
+            yield from sender_adapter.transmit(Message("ep0", "ep1", 512))
+            sent.append(env.now)
+
+    def slow_nic(env):
+        for _ in range(12):
+            yield env.timeout(us(50))
+            yield from from_switch1.receive()
+
+    env.process(sender(env))
+    env.process(slow_nic(env))
+    env.run()
+    # In-flight capacity = sender credits (2) + output queue (2) +
+    # receiver credits (2) + in-route slack; every send beyond that is
+    # paced at the NIC's 50 us drain rate instead of wire speed
+    # (12 x 528 ns ~ 6 us unthrottled).
+    assert sent[-1] > us(150)
+    # The first handful fit the pipe and go at wire speed.
+    assert sent[0] < us(5)
+
+
+def test_no_packet_loss_under_pressure():
+    env = Environment()
+    switch, adapters = star(
+        env, 2,
+        switch_config=SwitchConfig(output_queue_packets=2),
+        link_config=LinkConfig(credits=2))
+    received = []
+
+    def sender(env):
+        for i in range(40):
+            yield from adapters[0].transmit(Message("ep0", "ep1", 256,
+                                                    payload=i))
+
+    def receiver(env):
+        for _ in range(40):
+            message = yield adapters[1].recv_queue.get()
+            received.append(message.payload)
+
+    env.process(sender(env))
+    proc = env.process(receiver(env))
+    env.run(until=proc)
+    assert received == list(range(40))
+
+
+def test_switch_forward_counts_match_traffic():
+    env = Environment()
+    switch, adapters = star(env, 3)
+
+    def sender(env, src, dst, count):
+        for _ in range(count):
+            yield from src.transmit(Message(src.node_id, dst, 100))
+
+    env.process(sender(env, adapters[0], "ep1", 3))
+    env.process(sender(env, adapters[2], "ep1", 2))
+    env.run()
+    assert switch.stats.forwarded == 5
+    assert adapters[1].traffic.messages_in == 5

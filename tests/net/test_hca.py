@@ -1,0 +1,161 @@
+"""Unit tests for the channel adapter / HCA."""
+
+from repro.cpu import HostCPU
+from repro.mem import build_host_hierarchy
+from repro.net import HCA, ChannelAdapter, HcaConfig, Link
+from repro.sim import Clock, Environment
+
+
+def wire_pair(env, a, b):
+    """Connect two adapters with a duplex pair of links."""
+    ab = Link(env, "a->b")
+    ba = Link(env, "b->a")
+    a.attach(tx_link=ab, rx_link=ba)
+    b.attach(tx_link=ba, rx_link=ab)
+
+
+def make_host_adapter(env, name="host0"):
+    clock = Clock(2_000_000_000)
+    cpu = HostCPU(env, build_host_hierarchy(clock), name=name, clock=clock)
+    return cpu, HCA(env, name, cpu)
+
+
+def test_send_and_poll_receive():
+    env = Environment()
+    cpu, hca = make_host_adapter(env)
+    peer = ChannelAdapter(env, "peer")
+    wire_pair(env, hca, peer)
+
+    def sender(env):
+        yield from hca.send("peer", size_bytes=256, payload="hello")
+
+    def receiver(env):
+        message = yield peer.recv_queue.get()
+        return message
+
+    env.process(sender(env))
+    proc = env.process(receiver(env))
+    message = env.run(until=proc)
+    assert message.size_bytes == 256
+    assert message.payload == "hello"
+    assert message.src == "host0"
+
+
+def test_send_charges_host_overhead():
+    env = Environment()
+    cpu, hca = make_host_adapter(env)
+    peer = ChannelAdapter(env, "peer")
+    wire_pair(env, hca, peer)
+
+    def sender(env):
+        yield from hca.send("peer", size_bytes=64)
+
+    env.process(sender(env))
+    env.run()
+    assert cpu.accounting.busy_ps >= hca.config.send_overhead_ps
+
+
+def test_poll_receive_charges_host_overhead():
+    env = Environment()
+    cpu_a, hca_a = make_host_adapter(env, "a")
+    cpu_b, hca_b = make_host_adapter(env, "b")
+    wire_pair(env, hca_a, hca_b)
+
+    def sender(env):
+        yield from hca_a.send("b", size_bytes=64)
+
+    def receiver(env):
+        yield from hca_b.poll_receive()
+
+    env.process(sender(env))
+    proc = env.process(receiver(env))
+    env.run(until=proc)
+    assert cpu_b.accounting.busy_ps >= hca_b.config.recv_poll_ps
+
+
+def test_multi_packet_message_reassembled():
+    env = Environment()
+    cpu, hca = make_host_adapter(env)
+    peer = ChannelAdapter(env, "peer")
+    wire_pair(env, hca, peer)
+
+    def sender(env):
+        yield from hca.send("peer", size_bytes=1600)
+
+    def receiver(env):
+        return (yield peer.recv_queue.get())
+
+    env.process(sender(env))
+    proc = env.process(receiver(env))
+    message = env.run(until=proc)
+    assert message.size_bytes == 1600
+    assert peer.traffic.messages_in == 1
+    assert peer.traffic.bytes_in == 1600
+
+
+def test_traffic_counters():
+    env = Environment()
+    cpu, hca = make_host_adapter(env)
+    peer = ChannelAdapter(env, "peer")
+    wire_pair(env, hca, peer)
+
+    def sender(env):
+        yield from hca.send("peer", size_bytes=300)
+
+    env.process(sender(env))
+    env.run()
+    assert hca.traffic.bytes_out == 300
+    assert hca.traffic.messages_out == 1
+
+
+def test_bulk_accounting():
+    env = Environment()
+    adapter = ChannelAdapter(env, "x")
+    adapter.account_bulk_in(1000)
+    adapter.account_bulk_out(500)
+    assert adapter.traffic.bytes_in == 1000
+    assert adapter.traffic.bytes_out == 500
+    assert adapter.traffic.total_bytes == 1500
+
+
+def test_send_without_attach_raises():
+    env = Environment()
+    cpu, hca = make_host_adapter(env)
+
+    def sender(env):
+        yield from hca.send("peer", size_bytes=1)
+
+    env.process(sender(env))
+    try:
+        env.run()
+        raised = False
+    except RuntimeError:
+        raised = True
+    assert raised
+
+
+def test_interrupt_receive_mode_charges_interrupt_cost():
+    env = Environment()
+    clock = Clock(2_000_000_000)
+    cpu = HostCPU(env, build_host_hierarchy(clock), name="h", clock=clock)
+    config = HcaConfig(receive_mode="interrupt", interrupt_cost_ps=5_000_000)
+    hca = HCA(env, "h", cpu, config=config)
+    peer_cpu, peer = make_host_adapter(env, "peer")
+    wire_pair(env, hca, peer)
+
+    def sender(env):
+        yield from peer.send("h", size_bytes=64)
+
+    def receiver(env):
+        yield from hca.poll_receive()
+
+    env.process(sender(env))
+    proc = env.process(receiver(env))
+    env.run(until=proc)
+    assert cpu.accounting.busy_ps >= 5_000_000
+
+
+def test_invalid_receive_mode_rejected():
+    import pytest
+    with pytest.raises(ValueError):
+        HcaConfig(receive_mode="psychic")

@@ -1,0 +1,157 @@
+"""Unit tests for links and credit-based flow control."""
+
+import pytest
+
+from repro.net import Link, LinkConfig, Packet
+from repro.sim import Environment
+from repro.sim.units import ns
+
+
+def test_send_receive_roundtrip():
+    env = Environment()
+    link = Link(env, "l")
+
+    def sender(env):
+        yield from link.send(Packet("a", "b", payload_bytes=512))
+
+    def receiver(env):
+        packet = yield from link.receive()
+        return (env.now, packet.payload_bytes)
+
+    env.process(sender(env))
+    proc = env.process(receiver(env))
+    now, size = env.run(until=proc)
+    assert size == 512
+    # 528 wire bytes at 1 GB/s = 528 ns, plus 20 ns propagation.
+    assert now == link.serialization_ps(528) + ns(20)
+
+
+def test_serialization_time_at_1gbps():
+    env = Environment()
+    link = Link(env, "l")
+    assert link.serialization_ps(1000) == ns(1000)
+
+
+def test_occupancy_includes_per_packet_headers():
+    env = Environment()
+    link = Link(env, "l")
+    # 1024 B payload = 2 packets = 32 B of headers.
+    assert link.occupancy_ps(1024) == link.serialization_ps(1056)
+
+
+def test_occupancy_zero():
+    env = Environment()
+    assert Link(env, "l").occupancy_ps(0) == 0
+
+
+def test_packets_serialize_back_to_back():
+    env = Environment()
+    link = Link(env, "l")
+    arrivals = []
+
+    def sender(env):
+        for _ in range(3):
+            yield from link.send(Packet("a", "b", payload_bytes=512))
+
+    def receiver(env):
+        for _ in range(3):
+            yield from link.receive()
+            arrivals.append(env.now)
+
+    env.process(sender(env))
+    env.process(receiver(env))
+    env.run()
+    gaps = [b - a for a, b in zip(arrivals, arrivals[1:])]
+    assert all(gap == link.serialization_ps(528) for gap in gaps)
+
+
+def test_credits_block_sender_until_receiver_drains():
+    env = Environment()
+    link = Link(env, "l", LinkConfig(credits=2))
+    send_times = []
+
+    def sender(env):
+        for _ in range(3):
+            yield from link.send(Packet("a", "b", payload_bytes=512))
+            send_times.append(env.now)
+
+    def lazy_receiver(env):
+        yield env.timeout(ns(10_000))
+        for _ in range(3):
+            yield from link.receive()
+
+    env.process(sender(env))
+    env.process(lazy_receiver(env))
+    env.run()
+    # The third send cannot complete until the receiver returns a credit.
+    assert send_times[2] >= ns(10_000)
+
+
+def test_link_stats_accumulate():
+    env = Environment()
+    link = Link(env, "l")
+
+    def sender(env):
+        yield from link.send(Packet("a", "b", payload_bytes=100))
+
+    def receiver(env):
+        yield from link.receive()
+
+    env.process(sender(env))
+    env.process(receiver(env))
+    env.run()
+    assert link.stats.packets == 1
+    assert link.stats.bytes == 116
+
+
+def test_notify_event_fires_on_delivery():
+    env = Environment()
+    link = Link(env, "l")
+    packet = Packet("a", "b", payload_bytes=64)
+    packet.notify = env.event()
+
+    def sender(env):
+        yield from link.send(packet)
+
+    def receiver(env):
+        yield from link.receive()
+
+    env.process(sender(env))
+    env.process(receiver(env))
+    env.run()
+    assert packet.notify.triggered
+
+
+def test_config_validation():
+    with pytest.raises(ValueError):
+        LinkConfig(bandwidth_bytes_per_s=0)
+    with pytest.raises(ValueError):
+        LinkConfig(propagation_ps=-1)
+    with pytest.raises(ValueError):
+        LinkConfig(credits=0)
+
+
+def test_link_utilization_measured():
+    env = Environment()
+    link = Link(env, "l")
+
+    def sender(env):
+        yield from link.send(Packet("a", "b", payload_bytes=512))
+        yield env.timeout(ns(528))  # idle for exactly one packet time
+
+    def receiver(env):
+        yield from link.receive()
+
+    env.process(sender(env))
+    env.process(receiver(env))
+    env.run()
+    # Busy for 528 ns of ~1076 ns total -> ~49-50%.
+    assert 0.45 < link.utilization() < 0.55
+
+
+def test_idle_link_utilization_zero():
+    env = Environment()
+    link = Link(env, "l")
+    env.timeout(1000)
+    env.run()
+    assert link.utilization() == 0.0

@@ -1,0 +1,98 @@
+"""Unit tests for packet/message formats."""
+
+import pytest
+
+from repro.net import (
+    HEADER_BYTES,
+    MTU,
+    ActiveHeader,
+    Message,
+    Packet,
+)
+
+
+def test_mtu_is_512():
+    assert MTU == 512
+
+
+def test_header_is_128_bits():
+    assert HEADER_BYTES == 16
+
+
+def test_active_header_field_widths():
+    ActiveHeader(handler_id=63, address=(1 << 32) - 1)  # max values fit
+    with pytest.raises(ValueError):
+        ActiveHeader(handler_id=64, address=0)
+    with pytest.raises(ValueError):
+        ActiveHeader(handler_id=0, address=1 << 32)
+    with pytest.raises(ValueError):
+        ActiveHeader(handler_id=0, address=0, cpu_id=4)
+
+
+def test_packet_wire_bytes_includes_header():
+    packet = Packet(src="a", dst="b", payload_bytes=100)
+    assert packet.wire_bytes == 116
+
+
+def test_packet_rejects_oversize_payload():
+    with pytest.raises(ValueError):
+        Packet(src="a", dst="b", payload_bytes=MTU + 1)
+
+
+def test_packet_rejects_negative_payload():
+    with pytest.raises(ValueError):
+        Packet(src="a", dst="b", payload_bytes=-1)
+
+
+def test_packet_is_active_only_with_header():
+    plain = Packet(src="a", dst="b", payload_bytes=10)
+    active = Packet(src="a", dst="b", payload_bytes=10,
+                    active=ActiveHeader(handler_id=1, address=0))
+    assert not plain.is_active
+    assert active.is_active
+
+
+def test_message_packet_count():
+    assert Message("a", "b", size_bytes=0).num_packets == 1
+    assert Message("a", "b", size_bytes=1).num_packets == 1
+    assert Message("a", "b", size_bytes=512).num_packets == 1
+    assert Message("a", "b", size_bytes=513).num_packets == 2
+    assert Message("a", "b", size_bytes=64 * 1024).num_packets == 128
+
+
+def test_message_wire_bytes():
+    message = Message("a", "b", size_bytes=1024)
+    assert message.wire_bytes == 1024 + 2 * HEADER_BYTES
+
+
+def test_packetize_sizes_and_sequence():
+    message = Message("a", "b", size_bytes=1100)
+    packets = message.packetize()
+    assert [p.payload_bytes for p in packets] == [512, 512, 76]
+    assert [p.seq for p in packets] == [0, 1, 2]
+    assert [p.last for p in packets] == [False, False, True]
+    assert len({p.message_id for p in packets}) == 1
+
+
+def test_packetize_carries_payload_on_first_packet_only():
+    message = Message("a", "b", size_bytes=1024, payload={"k": 1})
+    packets = message.packetize()
+    assert packets[0].payload == {"k": 1}
+    assert packets[1].payload is None
+
+
+def test_packetize_propagates_active_header():
+    header = ActiveHeader(handler_id=5, address=0x1000)
+    packets = Message("a", "b", size_bytes=1024, active=header).packetize()
+    assert all(p.active == header for p in packets)
+
+
+def test_distinct_messages_get_distinct_ids():
+    a = Message("a", "b", size_bytes=10).packetize()
+    b = Message("a", "b", size_bytes=10).packetize()
+    assert a[0].message_id != b[0].message_id
+
+
+def test_message_rejects_negative_size():
+    with pytest.raises(ValueError):
+        Message("a", "b", size_bytes=-5)

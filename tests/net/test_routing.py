@@ -1,0 +1,54 @@
+"""Unit tests for routing tables."""
+
+import pytest
+
+from repro.net import RoutingError, RoutingTable
+
+
+def test_lookup_known_destination():
+    table = RoutingTable("sw0")
+    table.add("host0", 3)
+    assert table.lookup("host0") == 3
+
+
+def test_lookup_unknown_raises():
+    table = RoutingTable("sw0")
+    with pytest.raises(RoutingError):
+        table.lookup("nowhere")
+
+
+def test_default_port_fallback():
+    table = RoutingTable("sw0")
+    table.set_default(7)
+    assert table.lookup("anything") == 7
+
+
+def test_explicit_route_beats_default():
+    table = RoutingTable("sw0")
+    table.set_default(7)
+    table.add("host0", 1)
+    assert table.lookup("host0") == 1
+
+
+def test_add_many():
+    table = RoutingTable("sw0")
+    table.add_many(["a", "b", "c"], 5)
+    assert table.lookup("b") == 5
+    assert len(table) == 3
+
+
+def test_contains():
+    table = RoutingTable("sw0")
+    table.add("x", 0)
+    assert "x" in table
+    assert "y" not in table
+    table.set_default(1)
+    assert "y" in table
+
+
+def test_negative_port_rejected():
+    table = RoutingTable("sw0")
+    with pytest.raises(ValueError):
+        table.add("x", -1)
+    with pytest.raises(ValueError):
+        table.set_default(-2)

@@ -1,0 +1,116 @@
+"""Edge cases for condition events and kernel error paths."""
+
+import pytest
+
+from repro.sim import Environment, SimulationError
+
+
+def test_all_of_fails_fast_on_member_failure():
+    env = Environment()
+    gate = env.event()
+
+    def failer(env):
+        yield env.timeout(10)
+        gate.fail(RuntimeError("member died"))
+
+    def waiter(env):
+        try:
+            yield env.all_of([gate, env.timeout(1000)])
+        except RuntimeError:
+            return env.now
+
+    env.process(failer(env))
+    proc = env.process(waiter(env))
+    # Fails at t=10, long before the 1000-ps member completes.
+    assert env.run(until=proc) == 10
+
+
+def test_any_of_propagates_failure():
+    env = Environment()
+    gate = env.event()
+
+    def failer(env):
+        yield env.timeout(5)
+        gate.fail(ValueError("boom"))
+
+    def waiter(env):
+        try:
+            yield env.any_of([gate, env.timeout(1000)])
+        except ValueError:
+            return "failed"
+
+    env.process(failer(env))
+    proc = env.process(waiter(env))
+    assert env.run(until=proc) == "failed"
+
+
+def test_all_of_with_already_processed_members():
+    env = Environment()
+    done = env.event()
+    done.succeed("early")
+
+    def waiter(env):
+        yield env.timeout(50)  # let `done` process
+        results = yield env.all_of([done, env.timeout(10, "late")])
+        return sorted(str(v) for v in results.values())
+
+    proc = env.process(waiter(env))
+    assert env.run(until=proc) == ["early", "late"]
+
+
+def test_condition_rejects_foreign_environment():
+    env_a = Environment()
+    env_b = Environment()
+    foreign = env_b.event()
+    with pytest.raises(SimulationError):
+        env_a.all_of([env_a.event(), foreign])
+
+
+def test_nested_conditions():
+    env = Environment()
+
+    def waiter(env):
+        inner = env.all_of([env.timeout(10), env.timeout(20)])
+        yield env.any_of([inner, env.timeout(100)])
+        return env.now
+
+    proc = env.process(waiter(env))
+    assert env.run(until=proc) == 20
+
+
+def test_event_fail_requires_exception():
+    env = Environment()
+    with pytest.raises(TypeError):
+        env.event().fail("not an exception")
+
+
+def test_event_value_before_trigger_raises():
+    env = Environment()
+    pending = env.event()
+    with pytest.raises(SimulationError):
+        _ = pending.value
+    with pytest.raises(SimulationError):
+        _ = pending.ok
+
+
+def test_schedule_in_past_rejected():
+    env = Environment()
+    with pytest.raises(SimulationError):
+        env.schedule(env.event(), delay=-5)
+
+
+def test_step_on_empty_queue_raises():
+    env = Environment()
+    with pytest.raises(SimulationError):
+        env.step()
+
+
+def test_any_of_empty_fires_immediately():
+    env = Environment()
+
+    def waiter(env):
+        yield env.any_of([])
+        return env.now
+
+    proc = env.process(waiter(env))
+    assert env.run(until=proc) == 0

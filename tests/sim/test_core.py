@@ -1,0 +1,306 @@
+"""Unit tests for the discrete-event kernel: environment and events."""
+
+import pytest
+
+from repro.sim import Environment, Event, SimulationError, StopProcess
+
+
+def test_initial_time_is_zero():
+    assert Environment().now == 0
+
+
+def test_initial_time_can_be_set():
+    assert Environment(initial_time=42).now == 42
+
+
+def test_timeout_advances_clock():
+    env = Environment()
+    env.timeout(1500)
+    env.run()
+    assert env.now == 1500
+
+
+def test_run_until_time_stops_exactly():
+    env = Environment()
+    env.timeout(100)
+    env.timeout(300)
+    env.run(until=200)
+    assert env.now == 200
+
+
+def test_run_until_past_raises():
+    env = Environment(initial_time=50)
+    with pytest.raises(SimulationError):
+        env.run(until=10)
+
+
+def test_negative_timeout_rejected():
+    env = Environment()
+    with pytest.raises(SimulationError):
+        env.timeout(-1)
+
+
+def test_process_returns_value():
+    env = Environment()
+
+    def worker(env):
+        yield env.timeout(10)
+        return "done"
+
+    proc = env.process(worker(env))
+    result = env.run(until=proc)
+    assert result == "done"
+    assert env.now == 10
+
+
+def test_process_sequential_timeouts_accumulate():
+    env = Environment()
+    trace = []
+
+    def worker(env):
+        for delay in (5, 10, 15):
+            yield env.timeout(delay)
+            trace.append(env.now)
+
+    env.process(worker(env))
+    env.run()
+    assert trace == [5, 15, 30]
+
+
+def test_timeout_carries_value():
+    env = Environment()
+
+    def worker(env):
+        got = yield env.timeout(3, value="payload")
+        return got
+
+    proc = env.process(worker(env))
+    assert env.run(until=proc) == "payload"
+
+
+def test_two_processes_interleave():
+    env = Environment()
+    trace = []
+
+    def ticker(env, name, period):
+        for _ in range(3):
+            yield env.timeout(period)
+            trace.append((env.now, name))
+
+    env.process(ticker(env, "a", 10))
+    env.process(ticker(env, "b", 15))
+    env.run()
+    # At t=30 both fire; b's timeout was scheduled earlier (at t=15) so it
+    # is processed first.
+    assert trace == [(10, "a"), (15, "b"), (20, "a"), (30, "b"), (30, "a"), (45, "b")]
+
+
+def test_event_succeed_delivers_value():
+    env = Environment()
+    gate = env.event()
+
+    def opener(env):
+        yield env.timeout(7)
+        gate.succeed("open")
+
+    def waiter(env):
+        value = yield gate
+        return (env.now, value)
+
+    env.process(opener(env))
+    proc = env.process(waiter(env))
+    assert env.run(until=proc) == (7, "open")
+
+
+def test_event_fail_raises_in_waiter():
+    env = Environment()
+    gate = env.event()
+
+    def failer(env):
+        yield env.timeout(1)
+        gate.fail(RuntimeError("boom"))
+
+    def waiter(env):
+        try:
+            yield gate
+        except RuntimeError as exc:
+            return str(exc)
+
+    env.process(failer(env))
+    proc = env.process(waiter(env))
+    assert env.run(until=proc) == "boom"
+
+
+def test_event_cannot_trigger_twice():
+    env = Environment()
+    gate = env.event()
+    gate.succeed()
+    with pytest.raises(SimulationError):
+        gate.succeed()
+
+
+def test_unhandled_process_exception_propagates():
+    env = Environment()
+
+    def bad(env):
+        yield env.timeout(1)
+        raise ValueError("broken")
+
+    env.process(bad(env))
+    with pytest.raises(ValueError, match="broken"):
+        env.run()
+
+
+def test_watched_process_exception_is_caught_by_waiter():
+    env = Environment()
+
+    def bad(env):
+        yield env.timeout(1)
+        raise ValueError("broken")
+
+    def watcher(env, target):
+        try:
+            yield target
+        except ValueError:
+            return "caught"
+
+    target = env.process(bad(env))
+    proc = env.process(watcher(env, target))
+    assert env.run(until=proc) == "caught"
+
+
+def test_yield_non_event_raises():
+    env = Environment()
+
+    def bad(env):
+        yield 42
+
+    env.process(bad(env))
+    with pytest.raises(SimulationError):
+        env.run()
+
+
+def test_stop_process_sets_value():
+    env = Environment()
+
+    def quitter(env):
+        yield env.timeout(5)
+        raise StopProcess("early")
+
+    proc = env.process(quitter(env))
+    assert env.run(until=proc) == "early"
+
+
+def test_yield_already_processed_event_continues_immediately():
+    env = Environment()
+    done = env.event()
+    done.succeed("cached")
+
+    def late(env):
+        yield env.timeout(10)
+        value = yield done
+        return (env.now, value)
+
+    proc = env.process(late(env))
+    assert env.run(until=proc) == (10, "cached")
+
+
+def test_run_until_event_that_never_fires_raises():
+    env = Environment()
+    never = env.event()
+    env.timeout(5)
+    with pytest.raises(SimulationError):
+        env.run(until=never)
+
+
+def test_all_of_waits_for_every_event():
+    env = Environment()
+
+    def worker(env):
+        results = yield env.all_of([env.timeout(10, "a"), env.timeout(30, "b")])
+        return (env.now, sorted(results.values()))
+
+    proc = env.process(worker(env))
+    assert env.run(until=proc) == (30, ["a", "b"])
+
+
+def test_any_of_fires_on_first():
+    env = Environment()
+
+    def worker(env):
+        results = yield env.any_of([env.timeout(10, "fast"), env.timeout(30, "slow")])
+        return (env.now, list(results.values()))
+
+    proc = env.process(worker(env))
+    assert env.run(until=proc) == (10, ["fast"])
+
+
+def test_all_of_empty_fires_immediately():
+    env = Environment()
+
+    def worker(env):
+        yield env.all_of([])
+        return env.now
+
+    proc = env.process(worker(env))
+    assert env.run(until=proc) == 0
+
+
+def test_nested_process_wait():
+    env = Environment()
+
+    def child(env):
+        yield env.timeout(20)
+        return "child-done"
+
+    def parent(env):
+        value = yield env.process(child(env))
+        return (env.now, value)
+
+    proc = env.process(parent(env))
+    assert env.run(until=proc) == (20, "child-done")
+
+
+def test_event_ordering_is_fifo_at_same_timestamp():
+    env = Environment()
+    order = []
+
+    def maker(env, tag):
+        yield env.timeout(10)
+        order.append(tag)
+
+    for tag in range(5):
+        env.process(maker(env, tag))
+    env.run()
+    assert order == [0, 1, 2, 3, 4]
+
+
+def test_peek_reports_next_event_time():
+    env = Environment()
+    env.timeout(99)
+    assert env.peek() == 99
+
+
+def test_peek_empty_queue_is_infinity():
+    env = Environment()
+    assert env.peek() == float("inf")
+
+
+def test_process_requires_generator():
+    env = Environment()
+    with pytest.raises(SimulationError):
+        env.process(lambda: None)
+
+
+def test_active_process_visible_during_execution():
+    env = Environment()
+    seen = []
+
+    def worker(env):
+        seen.append(env.active_process)
+        yield env.timeout(1)
+
+    proc = env.process(worker(env))
+    env.run()
+    assert seen == [proc]
+    assert env.active_process is None

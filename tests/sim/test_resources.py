@@ -1,0 +1,261 @@
+"""Unit tests for Store, Resource, and Container."""
+
+import pytest
+
+from repro.sim import Container, Environment, Resource, SimulationError, Store
+
+
+# ----------------------------------------------------------------------
+# Store
+# ----------------------------------------------------------------------
+def test_store_put_then_get():
+    env = Environment()
+    store = Store(env)
+
+    def producer(env):
+        yield store.put("item")
+
+    def consumer(env):
+        item = yield store.get()
+        return item
+
+    env.process(producer(env))
+    proc = env.process(consumer(env))
+    assert env.run(until=proc) == "item"
+
+
+def test_store_get_blocks_until_put():
+    env = Environment()
+    store = Store(env)
+
+    def consumer(env):
+        item = yield store.get()
+        return (env.now, item)
+
+    def producer(env):
+        yield env.timeout(50)
+        yield store.put("late")
+
+    proc = env.process(consumer(env))
+    env.process(producer(env))
+    assert env.run(until=proc) == (50, "late")
+
+
+def test_store_is_fifo():
+    env = Environment()
+    store = Store(env)
+    received = []
+
+    def producer(env):
+        for i in range(4):
+            yield store.put(i)
+
+    def consumer(env):
+        for _ in range(4):
+            item = yield store.get()
+            received.append(item)
+
+    env.process(producer(env))
+    env.process(consumer(env))
+    env.run()
+    assert received == [0, 1, 2, 3]
+
+
+def test_store_capacity_blocks_put():
+    env = Environment()
+    store = Store(env, capacity=1)
+    trace = []
+
+    def producer(env):
+        yield store.put("a")
+        trace.append(("put-a", env.now))
+        yield store.put("b")
+        trace.append(("put-b", env.now))
+
+    def consumer(env):
+        yield env.timeout(100)
+        yield store.get()
+
+    env.process(producer(env))
+    env.process(consumer(env))
+    env.run()
+    assert trace == [("put-a", 0), ("put-b", 100)]
+
+
+def test_store_rejects_nonpositive_capacity():
+    env = Environment()
+    with pytest.raises(ValueError):
+        Store(env, capacity=0)
+
+
+def test_store_len_counts_items():
+    env = Environment()
+    store = Store(env)
+
+    def filler(env):
+        yield store.put("x")
+        yield store.put("y")
+
+    env.process(filler(env))
+    env.run()
+    assert len(store) == 2
+
+
+# ----------------------------------------------------------------------
+# Resource
+# ----------------------------------------------------------------------
+def test_resource_grants_up_to_capacity():
+    env = Environment()
+    res = Resource(env, capacity=2)
+    grants = []
+
+    def user(env, name, hold):
+        req = res.request()
+        yield req
+        grants.append((name, env.now))
+        yield env.timeout(hold)
+        res.release(req)
+
+    env.process(user(env, "a", 10))
+    env.process(user(env, "b", 10))
+    env.process(user(env, "c", 10))
+    env.run()
+    assert grants == [("a", 0), ("b", 0), ("c", 10)]
+
+
+def test_resource_fifo_ordering():
+    env = Environment()
+    res = Resource(env, capacity=1)
+    order = []
+
+    def user(env, name):
+        req = res.request()
+        yield req
+        order.append(name)
+        yield env.timeout(1)
+        res.release(req)
+
+    for name in "abcd":
+        env.process(user(env, name))
+    env.run()
+    assert order == list("abcd")
+
+
+def test_resource_release_unowned_raises():
+    env = Environment()
+    res = Resource(env)
+    bogus = res.request()
+    res.users.clear()  # simulate double release
+    with pytest.raises(SimulationError):
+        res.release(bogus)
+
+
+def test_resource_cancel_removes_waiter():
+    env = Environment()
+    res = Resource(env, capacity=1)
+    held = res.request()
+    waiting = res.request()
+    assert not waiting.triggered
+    res.cancel(waiting)
+    res.release(held.value if held.triggered else held)
+    env.run()
+    assert not waiting.triggered
+
+
+def test_resource_capacity_validated():
+    env = Environment()
+    with pytest.raises(ValueError):
+        Resource(env, capacity=0)
+
+
+def test_resource_count_property():
+    env = Environment()
+    res = Resource(env, capacity=3)
+    res.request()
+    res.request()
+    assert res.count == 2
+
+
+# ----------------------------------------------------------------------
+# Container
+# ----------------------------------------------------------------------
+def test_container_get_blocks_until_level():
+    env = Environment()
+    tank = Container(env, capacity=100, init=0)
+
+    def filler(env):
+        yield env.timeout(10)
+        yield tank.put(60)
+
+    def drainer(env):
+        yield tank.get(50)
+        return env.now
+
+    env.process(filler(env))
+    proc = env.process(drainer(env))
+    assert env.run(until=proc) == 10
+    assert tank.level == 10
+
+
+def test_container_put_blocks_at_capacity():
+    env = Environment()
+    tank = Container(env, capacity=10, init=10)
+    times = []
+
+    def putter(env):
+        yield tank.put(5)
+        times.append(env.now)
+
+    def getter(env):
+        yield env.timeout(30)
+        yield tank.get(5)
+
+    env.process(putter(env))
+    env.process(getter(env))
+    env.run()
+    assert times == [30]
+
+
+def test_container_fifo_prevents_starvation():
+    env = Environment()
+    tank = Container(env, capacity=100, init=0)
+    order = []
+
+    def big(env):
+        yield tank.get(50)
+        order.append("big")
+
+    def small(env):
+        yield env.timeout(1)
+        yield tank.get(1)
+        order.append("small")
+
+    def refill(env):
+        for _ in range(6):
+            yield env.timeout(10)
+            yield tank.put(10)
+
+    env.process(big(env))
+    env.process(small(env))
+    env.process(refill(env))
+    env.run()
+    assert order == ["big", "small"]
+
+
+def test_container_validates_amounts():
+    env = Environment()
+    tank = Container(env, capacity=10, init=5)
+    with pytest.raises(ValueError):
+        tank.get(0)
+    with pytest.raises(ValueError):
+        tank.put(-1)
+    with pytest.raises(ValueError):
+        tank.get(11)
+
+
+def test_container_init_bounds():
+    env = Environment()
+    with pytest.raises(ValueError):
+        Container(env, capacity=10, init=11)
+    with pytest.raises(ValueError):
+        Container(env, capacity=0)

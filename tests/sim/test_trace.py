@@ -1,0 +1,109 @@
+"""Unit tests for the event tracer."""
+
+import pytest
+
+from repro.net import ActiveHeader, ChannelAdapter, Link, Message
+from repro.sim import Environment, Tracer
+from repro.switch import ActiveSwitch
+
+
+def test_record_and_select():
+    tracer = Tracer()
+    tracer.record(100, "dispatch", cpu=0)
+    tracer.record(200, "dispatch", cpu=1)
+    tracer.record(150, "arrival", block=3)
+    assert tracer.count("dispatch") == 2
+    assert tracer.count() == 3
+    assert [r.get("cpu") for r in tracer.select("dispatch")] == [0, 1]
+
+
+def test_disabled_tracer_is_noop():
+    tracer = Tracer(enabled=False)
+    tracer.record(1, "x")
+    assert len(tracer) == 0
+
+
+def test_capacity_drops_newest_and_counts():
+    tracer = Tracer(capacity=2)
+    for i in range(5):
+        tracer.record(i, "k", i=i)
+    assert len(tracer) == 2
+    assert tracer.dropped == 3
+    assert [r.get("i") for r in tracer.records] == [0, 1]
+
+
+def test_capacity_validation():
+    with pytest.raises(ValueError):
+        Tracer(capacity=0)
+
+
+def test_span():
+    tracer = Tracer()
+    tracer.record(100, "a")
+    tracer.record(400, "a")
+    tracer.record(900, "b")
+    assert tracer.span_ps("a") == 300
+    assert tracer.span_ps() == 800
+    assert tracer.span_ps("b") == 0
+
+
+def test_summary_counts_by_kind():
+    tracer = Tracer()
+    tracer.record(1, "a")
+    tracer.record(2, "a")
+    tracer.record(3, "b")
+    assert tracer.summary() == {"a": 2, "b": 1}
+
+
+def test_clear():
+    tracer = Tracer()
+    tracer.record(1, "a")
+    tracer.clear()
+    assert len(tracer) == 0
+    assert tracer.dropped == 0
+
+
+def test_record_details_roundtrip():
+    tracer = Tracer()
+    tracer.record(5, "x", alpha=1, beta="two")
+    record = tracer.records[0]
+    assert record.as_dict() == {"alpha": 1, "beta": "two"}
+    assert record.get("alpha") == 1
+    assert record.get("missing", 42) == 42
+
+
+def test_active_switch_traces_dispatches():
+    env = Environment()
+    tracer = Tracer()
+    switch = ActiveSwitch(env, "sw0", tracer=tracer)
+    adapter = ChannelAdapter(env, "ep0")
+    to_switch = Link(env, "ep0->sw0")
+    from_switch = Link(env, "sw0->ep0")
+    adapter.attach(tx_link=to_switch, rx_link=from_switch)
+    switch.connect(0, tx_link=from_switch, rx_link=to_switch)
+    switch.routing.add("ep0", 0)
+
+    def handler(ctx):
+        yield from ctx.compute(cycles=1)
+        yield from ctx.deallocate(ctx.address + 512)
+
+    switch.register_handler(1, handler)
+
+    def sender(env):
+        for i in range(3):
+            yield from adapter.transmit(Message(
+                "ep0", "sw0", size_bytes=64,
+                active=ActiveHeader(handler_id=1, address=i * 512)))
+
+    env.process(sender(env))
+    env.run()
+    dispatches = tracer.select("dispatch")
+    assert len(dispatches) == 3
+    assert all(r.get("handler_id") == 1 for r in dispatches)
+    assert all(r.get("switch") == "sw0" for r in dispatches)
+
+
+def test_switch_without_tracer_uses_disabled_global():
+    env = Environment()
+    switch = ActiveSwitch(env, "sw0")
+    assert not switch.tracer.enabled

@@ -1,0 +1,62 @@
+"""Unit tests for time/size units and the Clock helper."""
+
+import pytest
+
+from repro.sim import Clock, cycles_to_ps, ms, ns, seconds, transfer_ps, us
+from repro.sim.units import ps_to_ms, ps_to_ns, ps_to_seconds, ps_to_us
+
+
+def test_ns_us_ms_seconds_scale():
+    assert ns(1) == 1_000
+    assert us(1) == 1_000_000
+    assert ms(1) == 1_000_000_000
+    assert seconds(1) == 1_000_000_000_000
+
+
+def test_fractional_conversion_rounds():
+    assert us(0.27) == 270_000
+    assert ns(0.5) == 500
+
+
+def test_roundtrip_conversions():
+    assert ps_to_ns(ns(123.0)) == pytest.approx(123.0)
+    assert ps_to_us(us(30)) == pytest.approx(30.0)
+    assert ps_to_ms(ms(2)) == pytest.approx(2.0)
+    assert ps_to_seconds(seconds(1.5)) == pytest.approx(1.5)
+
+
+def test_host_clock_period():
+    assert Clock(2_000_000_000).period_ps == 500
+
+
+def test_switch_clock_period():
+    assert Clock(500_000_000).period_ps == 2000
+
+
+def test_clock_cycles():
+    clock = Clock(2_000_000_000)
+    assert clock.cycles(10) == 5_000
+    assert clock.ps_to_cycles(5_000) == pytest.approx(10.0)
+
+
+def test_clock_rejects_nonpositive_frequency():
+    with pytest.raises(ValueError):
+        Clock(0)
+
+
+def test_cycles_to_ps_matches_clock():
+    assert cycles_to_ps(100, 500_000_000) == Clock(500_000_000).cycles(100)
+
+
+def test_transfer_ps_basic():
+    # 1 GB/s moving 1024 bytes -> 1024 ns
+    one_gbps = 1_000_000_000
+    assert transfer_ps(1000, one_gbps) == us(1)
+
+
+def test_transfer_ps_zero_bytes():
+    assert transfer_ps(0, 1e9) == 0
+
+
+def test_transfer_ps_minimum_one_ps():
+    assert transfer_ps(1, 1e30) == 1

@@ -1,0 +1,301 @@
+"""Integration tests: active messages dispatched end to end."""
+
+import pytest
+
+from repro.net import ActiveHeader, ChannelAdapter, Link, Message
+from repro.sim import Environment
+from repro.sim.units import ns
+from repro.switch import ActiveSwitch, ActiveSwitchConfig, DispatchError
+
+
+def build_active_fabric(env, num_cpus=1, num_endpoints=2):
+    switch = ActiveSwitch(env, "sw0",
+                          active_config=ActiveSwitchConfig(num_cpus=num_cpus))
+    adapters = []
+    for i in range(num_endpoints):
+        name = f"ep{i}"
+        to_switch = Link(env, f"{name}->sw0")
+        from_switch = Link(env, f"sw0->{name}")
+        adapter = ChannelAdapter(env, name)
+        adapter.attach(tx_link=to_switch, rx_link=from_switch)
+        switch.connect(i, tx_link=from_switch, rx_link=to_switch)
+        switch.routing.add(name, i)
+        adapters.append(adapter)
+    return switch, adapters
+
+
+def test_handler_invoked_by_active_message():
+    env = Environment()
+    switch, (a, b) = build_active_fabric(env)
+    invocations = []
+
+    def echo_handler(ctx):
+        invocations.append(ctx.address)
+        yield from ctx.compute(cycles=10)
+        yield from ctx.deallocate(ctx.address + 512)
+
+    switch.register_handler(1, echo_handler)
+
+    def sender(env):
+        yield from a.transmit(Message(
+            "ep0", "sw0", size_bytes=128,
+            active=ActiveHeader(handler_id=1, address=0x4000)))
+
+    env.process(sender(env))
+    env.run()
+    assert invocations == [0x4000]
+    assert switch.stats.delivered_local == 1
+    assert switch.buffers.in_use == 0  # handler deallocated
+
+
+def test_handler_reads_stream_with_valid_bit_stalls():
+    env = Environment()
+    switch, (a, b) = build_active_fabric(env)
+    read_done = []
+
+    def stream_handler(ctx):
+        yield from ctx.read(ctx.address, 512)
+        read_done.append(env.now)
+        yield from ctx.deallocate(ctx.address + 512)
+
+    switch.register_handler(2, stream_handler)
+
+    def sender(env):
+        yield from a.transmit(Message(
+            "ep0", "sw0", size_bytes=512,
+            active=ActiveHeader(handler_id=2, address=0x8000)))
+
+    env.process(sender(env))
+    env.run()
+    assert len(read_done) == 1
+    # The read must wait for the full 512 B to stream into the buffer.
+    assert read_done[0] >= ns(512)
+    assert switch.cpus[0].accounting.stall_ps > 0
+
+
+def test_handler_sends_reply_to_host():
+    env = Environment()
+    switch, (a, b) = build_active_fabric(env)
+
+    def reply_handler(ctx):
+        yield from ctx.read(ctx.address, 64)
+        yield from ctx.compute(cycles=100)
+        yield from ctx.send("ep1", 64, payload="result")
+        yield from ctx.deallocate(ctx.address + 512)
+
+    switch.register_handler(3, reply_handler)
+
+    def sender(env):
+        yield from a.transmit(Message(
+            "ep0", "sw0", size_bytes=64,
+            active=ActiveHeader(handler_id=3, address=0x0)))
+
+    def receiver(env):
+        return (yield b.recv_queue.get())
+
+    env.process(sender(env))
+    proc = env.process(receiver(env))
+    message = env.run(until=proc)
+    assert message.payload == "result"
+    assert message.src == "sw0"
+    assert switch.buffers.in_use == 0
+
+
+def test_multi_packet_stream_processed_in_order():
+    env = Environment()
+    switch, (a, b) = build_active_fabric(env)
+    chunks = []
+
+    def stream_handler(ctx):
+        total = 1536  # 3 packets
+        offset = 0
+        while offset < total:
+            yield from ctx.read(ctx.address + offset, 512)
+            chunks.append(offset)
+            offset += 512
+            yield from ctx.deallocate(ctx.address + offset)
+
+    switch.register_handler(4, stream_handler)
+
+    def sender(env):
+        yield from a.transmit(Message(
+            "ep0", "sw0", size_bytes=1536,
+            active=ActiveHeader(handler_id=4, address=0x0)))
+
+    env.process(sender(env))
+    env.run()
+    assert chunks == [0, 512, 1024]
+    assert switch.buffers.in_use == 0
+
+
+def test_unknown_handler_id_raises():
+    env = Environment()
+    switch, (a, b) = build_active_fabric(env)
+
+    def sender(env):
+        yield from a.transmit(Message(
+            "ep0", "sw0", size_bytes=64,
+            active=ActiveHeader(handler_id=9, address=0x0)))
+
+    env.process(sender(env))
+    with pytest.raises(DispatchError):
+        env.run()
+
+
+def test_cpu_id_pins_handler_to_core():
+    env = Environment()
+    switch, (a, b) = build_active_fabric(env, num_cpus=4)
+    ran_on = []
+
+    def pin_handler(ctx):
+        ran_on.append(ctx.cpu.cpu_id)
+        yield from ctx.compute(cycles=1)
+        yield from ctx.deallocate(ctx.address + 512)
+
+    switch.register_handler(5, pin_handler)
+
+    def sender(env):
+        for cpu_id in (2, 0, 3):
+            yield from a.transmit(Message(
+                "ep0", "sw0", size_bytes=64,
+                active=ActiveHeader(handler_id=5, address=0x0,
+                                    cpu_id=cpu_id)))
+
+    env.process(sender(env))
+    env.run()
+    assert ran_on == [2, 0, 3]
+
+
+def test_concurrent_handlers_on_multiple_cpus():
+    env = Environment()
+    switch, (a, b) = build_active_fabric(env, num_cpus=2)
+    spans = []
+
+    def slow_handler(ctx):
+        start = env.now
+        yield from ctx.compute(cycles=10_000)  # 20 us at 500 MHz
+        spans.append((start, env.now))
+        yield from ctx.deallocate(ctx.address + 512)
+
+    switch.register_handler(6, slow_handler)
+
+    def sender(env):
+        for i in range(2):
+            yield from a.transmit(Message(
+                "ep0", "sw0", size_bytes=64,
+                active=ActiveHeader(handler_id=6, address=i * 512)))
+
+    env.process(sender(env))
+    env.run()
+    assert len(spans) == 2
+    # With two CPUs the handlers overlap in time.
+    (s0, e0), (s1, e1) = sorted(spans)
+    assert s1 < e0
+
+
+def test_single_cpu_serializes_handlers():
+    env = Environment()
+    switch, (a, b) = build_active_fabric(env, num_cpus=1)
+    spans = []
+
+    def slow_handler(ctx):
+        start = env.now
+        yield from ctx.compute(cycles=10_000)
+        spans.append((start, env.now))
+        yield from ctx.deallocate(ctx.address + 512)
+
+    switch.register_handler(7, slow_handler)
+
+    def sender(env):
+        for i in range(2):
+            yield from a.transmit(Message(
+                "ep0", "sw0", size_bytes=64,
+                active=ActiveHeader(handler_id=7, address=i * 512)))
+
+    env.process(sender(env))
+    env.run()
+    (s0, e0), (s1, e1) = sorted(spans)
+    assert s1 >= e0  # no overlap on one core
+
+
+def test_kernel_state_shared_across_invocations():
+    env = Environment()
+    switch, (a, b) = build_active_fabric(env)
+    switch.kernel_state["count"] = 0
+
+    def counting_handler(ctx):
+        yield from ctx.compute(cycles=5)
+        ctx.set_kernel_state("count", ctx.kernel_state("count") + 1)
+        yield from ctx.deallocate(ctx.address + 512)
+
+    switch.register_handler(8, counting_handler)
+
+    def sender(env):
+        for i in range(3):
+            yield from a.transmit(Message(
+                "ep0", "sw0", size_bytes=64,
+                active=ActiveHeader(handler_id=8, address=0x0)))
+
+    env.process(sender(env))
+    env.run()
+    assert switch.kernel_state["count"] == 3
+
+
+def test_non_active_traffic_unaffected_by_active_switch():
+    env = Environment()
+    switch, (a, b) = build_active_fabric(env)
+
+    def sender(env):
+        yield from a.transmit(Message("ep0", "ep1", 256))
+
+    def receiver(env):
+        return (yield b.recv_queue.get())
+
+    env.process(sender(env))
+    proc = env.process(receiver(env))
+    message = env.run(until=proc)
+    assert message.size_bytes == 256
+    assert switch.stats.forwarded == 1
+    assert switch.stats.delivered_local == 0
+
+
+def test_active_config_validation():
+    with pytest.raises(ValueError):
+        ActiveSwitchConfig(num_cpus=0)
+    with pytest.raises(ValueError):
+        ActiveSwitchConfig(num_cpus=5)
+    with pytest.raises(ValueError):
+        ActiveSwitchConfig(num_buffers=1)
+
+
+def test_handler_sees_full_message_size_from_first_packet():
+    """Regression: a handler invoked by packet 0 of a multi-packet
+    message must see the logical message size, not the first packet's
+    512 bytes (it deallocates and exits early otherwise, leaking the
+    remaining stream's buffers)."""
+    env = Environment()
+    switch, (a, b) = build_active_fabric(env)
+    seen = []
+
+    def whole_stream_handler(ctx):
+        size = ctx.message.size_bytes
+        seen.append(size)
+        offset = 0
+        while offset < size:
+            chunk = min(512, size - offset)
+            yield from ctx.read(ctx.address + offset, chunk)
+            offset += chunk
+        yield from ctx.deallocate(
+            ctx.address + ((size + 511) // 512) * 512)
+
+    switch.register_handler(11, whole_stream_handler)
+
+    def sender(env):
+        yield from a.transmit(Message(
+            "ep0", "sw0", size_bytes=1300,
+            active=ActiveHeader(handler_id=11, address=0x0)))
+
+    env.process(sender(env))
+    env.run()
+    assert seen == [1300]
+    assert switch.buffers.in_use == 0

@@ -1,0 +1,138 @@
+"""Unit tests for the address translation buffer."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim import Environment
+from repro.switch import ATBError, AddressTranslationBuffer, DataBuffer
+
+
+def make_buffer(env=None, buffer_id=0):
+    return DataBuffer(env or Environment(), buffer_id)
+
+
+def test_map_and_translate():
+    atb = AddressTranslationBuffer()
+    buffer = make_buffer()
+    atb.map(0x1000, buffer)
+    got, offset = atb.translate(0x1000)
+    assert got is buffer
+    assert offset == 0
+
+
+def test_translate_offset_within_region():
+    atb = AddressTranslationBuffer()
+    buffer = make_buffer()
+    atb.map(0x1000, buffer)
+    _, offset = atb.translate(0x11FF)
+    assert offset == 0x1FF
+
+
+def test_translate_unmapped_raises():
+    atb = AddressTranslationBuffer()
+    with pytest.raises(ATBError):
+        atb.translate(0x2000)
+    assert atb.stats.misses == 1
+
+
+def test_lookup_returns_none_on_miss():
+    atb = AddressTranslationBuffer()
+    assert atb.lookup(0x0) is None
+
+
+def test_direct_mapped_conflict_detected():
+    atb = AddressTranslationBuffer()
+    atb.map(0x0000, make_buffer(buffer_id=0))
+    # 16 entries x 512 B regions: address 16*512 maps to entry 0 again.
+    with pytest.raises(ATBError):
+        atb.map(16 * 512, make_buffer(buffer_id=1))
+    assert atb.stats.conflicts == 1
+
+
+def test_sequential_stream_fills_all_entries():
+    atb = AddressTranslationBuffer()
+    for i in range(16):
+        atb.map(i * 512, make_buffer(buffer_id=i))
+    assert atb.mapped_count() == 16
+
+
+def test_release_below_frees_only_lower_regions():
+    atb = AddressTranslationBuffer()
+    buffers = [make_buffer(buffer_id=i) for i in range(4)]
+    for i, buffer in enumerate(buffers):
+        atb.map(i * 512, buffer)
+    released = atb.release_below(2 * 512)
+    assert sorted(b.buffer_id for b in released) == [0, 1]
+    assert not atb.is_mapped(0)
+    assert atb.is_mapped(2 * 512)
+
+
+def test_release_below_partial_region_not_freed():
+    atb = AddressTranslationBuffer()
+    atb.map(0, make_buffer())
+    # End address inside the region: the region is NOT entirely below it.
+    assert atb.release_below(511) == []
+    assert atb.release_below(512) != []
+
+
+def test_clear_returns_everything():
+    atb = AddressTranslationBuffer()
+    atb.map(0, make_buffer(buffer_id=0))
+    atb.map(512, make_buffer(buffer_id=1))
+    cleared = atb.clear()
+    assert len(cleared) == 2
+    assert atb.mapped_count() == 0
+
+
+def test_remap_after_release():
+    atb = AddressTranslationBuffer()
+    atb.map(0, make_buffer(buffer_id=0))
+    atb.release_below(512)
+    atb.map(16 * 512, make_buffer(buffer_id=1))  # same entry, new region
+    buffer, offset = atb.translate(16 * 512 + 8)
+    assert buffer.buffer_id == 1
+    assert offset == 8
+
+
+def test_constructor_validation():
+    with pytest.raises(ValueError):
+        AddressTranslationBuffer(num_entries=0)
+    with pytest.raises(ValueError):
+        AddressTranslationBuffer(region_bytes=100)
+
+
+@given(base=st.integers(min_value=0, max_value=(1 << 20) // 512 - 1),
+       offset=st.integers(min_value=0, max_value=511))
+@settings(max_examples=100, deadline=None)
+def test_property_translate_recovers_offset(base, offset):
+    """For any mapped region, translate(base*512+off) yields exactly off."""
+    atb = AddressTranslationBuffer()
+    buffer = make_buffer()
+    address = base * 512
+    atb.map(address, buffer)
+    got, got_offset = atb.translate(address + offset)
+    assert got is buffer
+    assert got_offset == offset
+
+
+@given(regions=st.lists(st.integers(min_value=0, max_value=255), min_size=1,
+                        max_size=16, unique=True))
+@settings(max_examples=50, deadline=None)
+def test_property_release_below_is_exact(regions):
+    """release_below(k*512) frees exactly the regions < k, if mappable."""
+    atb = AddressTranslationBuffer()
+    mapped = {}
+    for region in regions:
+        buffer = make_buffer(buffer_id=region)
+        try:
+            atb.map(region * 512, buffer)
+            mapped[region] = buffer
+        except ATBError:
+            pass  # direct-mapped conflict: skip
+    if not mapped:
+        return
+    cutoff = max(mapped) // 2 + 1
+    released = atb.release_below(cutoff * 512)
+    expected = {r for r in mapped if r < cutoff}
+    assert {b.buffer_id for b in released} == expected

@@ -1,0 +1,173 @@
+"""Unit tests for data buffers, valid bits, and the DBA."""
+
+import pytest
+
+from repro.sim import Environment
+from repro.sim.units import ns
+from repro.switch import (
+    BUFFER_BYTES,
+    NUM_BUFFERS,
+    BufferError,
+    DataBuffer,
+    DataBufferPool,
+)
+
+
+def test_paper_parameters():
+    assert NUM_BUFFERS == 16
+    assert BUFFER_BYTES == 512
+
+
+def test_fill_sets_valid_progressively():
+    env = Environment()
+    buffer = DataBuffer(env, 0)
+    env.process(buffer.fill(512, bandwidth_bytes_per_s=1e9))
+    env.run(until=ns(64))
+    assert buffer.valid_bytes == 64
+    env.run(until=ns(512))
+    assert buffer.valid_bytes == 512
+
+
+def test_wait_valid_blocks_until_line_arrives():
+    env = Environment()
+    buffer = DataBuffer(env, 0)
+
+    def reader(env):
+        yield from buffer.wait_valid(128)
+        return env.now
+
+    env.process(buffer.fill(512, bandwidth_bytes_per_s=1e9))
+    proc = env.process(reader(env))
+    # 128 bytes = two 64-byte lines at 64 ns each.
+    assert env.run(until=proc) == ns(128)
+
+
+def test_wait_valid_returns_immediately_when_ready():
+    env = Environment()
+    buffer = DataBuffer(env, 0)
+    buffer.mark_all_valid()
+
+    def reader(env):
+        yield from buffer.wait_valid(512)
+        return env.now
+
+    proc = env.process(reader(env))
+    assert env.run(until=proc) == 0
+
+
+def test_reader_overlaps_fill_cut_through_style():
+    """A reader consuming line by line tracks the fill front."""
+    env = Environment()
+    buffer = DataBuffer(env, 0)
+    times = []
+
+    def reader(env):
+        for end in range(64, 513, 64):
+            yield from buffer.wait_valid(end)
+            times.append(env.now)
+
+    env.process(buffer.fill(512, bandwidth_bytes_per_s=1e9))
+    env.process(reader(env))
+    env.run()
+    assert times == [ns(64 * i) for i in range(1, 9)]
+
+
+def test_fill_oversize_rejected():
+    env = Environment()
+    buffer = DataBuffer(env, 0)
+    with pytest.raises(BufferError):
+        list(buffer.fill(513, 1e9))
+
+
+def test_wait_beyond_buffer_rejected():
+    env = Environment()
+    buffer = DataBuffer(env, 0)
+    with pytest.raises(BufferError):
+        list(buffer.wait_valid(513))
+
+
+def test_reset_clears_state():
+    env = Environment()
+    buffer = DataBuffer(env, 0)
+    buffer.mark_all_valid()
+    buffer.payload = "x"
+    buffer.reset()
+    assert buffer.valid_bytes == 0
+    assert buffer.payload is None
+
+
+def test_pool_allocate_release_cycle():
+    env = Environment()
+    pool = DataBufferPool(env)
+
+    def worker(env):
+        buffer = yield from pool.allocate()
+        assert pool.in_use == 1
+        pool.release(buffer)
+        return pool.in_use
+
+    proc = env.process(worker(env))
+    assert env.run(until=proc) == 0
+
+
+def test_pool_blocks_when_exhausted():
+    env = Environment()
+    pool = DataBufferPool(env, count=2)
+    grabbed = []
+    release_time = ns(1000)
+
+    def hog(env):
+        a = yield from pool.allocate()
+        b = yield from pool.allocate()
+        yield env.timeout(release_time)
+        pool.release(a)
+        pool.release(b)
+
+    def latecomer(env):
+        yield env.timeout(ns(10))  # let the hog claim both buffers first
+        buffer = yield from pool.allocate()
+        grabbed.append(env.now)
+        pool.release(buffer)
+
+    env.process(hog(env))
+    env.process(latecomer(env))
+    env.run()
+    assert grabbed == [release_time]
+
+
+def test_pool_double_free_rejected():
+    env = Environment()
+    pool = DataBufferPool(env)
+
+    def worker(env):
+        buffer = yield from pool.allocate()
+        pool.release(buffer)
+        pool.release(buffer)
+
+    env.process(worker(env))
+    with pytest.raises(BufferError):
+        env.run()
+
+
+def test_pool_stats_track_peak():
+    env = Environment()
+    pool = DataBufferPool(env, count=4)
+
+    def worker(env):
+        buffers = []
+        for _ in range(3):
+            buffers.append((yield from pool.allocate()))
+        for buffer in buffers:
+            pool.release(buffer)
+
+    env.process(worker(env))
+    env.run()
+    assert pool.stats.peak_in_use == 3
+    assert pool.stats.allocations == 3
+    assert pool.stats.frees == 3
+
+
+def test_pool_minimum_two_buffers():
+    env = Environment()
+    with pytest.raises(ValueError):
+        DataBufferPool(env, count=1)

@@ -1,0 +1,163 @@
+"""Unit tests for the jump table, CPU scheduler, and send unit stats."""
+
+import pytest
+
+from repro.cpu import SwitchCPU
+from repro.net import ActiveHeader, ChannelAdapter, Link, Message
+from repro.sim import Environment
+from repro.switch import ActiveSwitch, ActiveSwitchConfig, DispatchError, JumpTable
+from repro.switch.dispatch import CpuScheduler
+
+
+# ----------------------------------------------------------------------
+# Jump table
+# ----------------------------------------------------------------------
+def test_jump_table_register_and_lookup():
+    table = JumpTable()
+    handler = lambda ctx: None
+    table.register(5, handler)
+    assert table.lookup(5) is handler
+    assert 5 in table
+    assert len(table) == 1
+
+
+def test_jump_table_rejects_out_of_range_ids():
+    table = JumpTable()
+    with pytest.raises(DispatchError):
+        table.register(64, lambda ctx: None)  # 6-bit field
+    with pytest.raises(DispatchError):
+        table.register(-1, lambda ctx: None)
+
+
+def test_jump_table_rejects_duplicates():
+    table = JumpTable()
+    table.register(1, lambda ctx: None)
+    with pytest.raises(DispatchError):
+        table.register(1, lambda ctx: None)
+
+
+def test_jump_table_unknown_lookup_raises():
+    with pytest.raises(DispatchError):
+        JumpTable().lookup(9)
+
+
+# ----------------------------------------------------------------------
+# CPU scheduler
+# ----------------------------------------------------------------------
+def make_scheduler(env, count=2):
+    cpus = [SwitchCPU(env, cpu_id=i) for i in range(count)]
+    return CpuScheduler(env, cpus), cpus
+
+
+def test_scheduler_pick_prefers_idle_cpu():
+    env = Environment()
+    scheduler, cpus = make_scheduler(env)
+
+    def busy_gen(cpu):
+        yield from cpu.work(busy_cycles=100_000)
+
+    first = scheduler.pick()
+    scheduler.dispatch_on(first, lambda cpu: busy_gen(cpu))
+    second = scheduler.pick()
+    assert second is not first
+
+
+def test_scheduler_pick_respects_pin():
+    env = Environment()
+    scheduler, cpus = make_scheduler(env, count=4)
+    assert scheduler.pick(cpu_id=3) is cpus[3]
+    with pytest.raises(DispatchError):
+        scheduler.pick(cpu_id=4)
+
+
+def test_scheduler_counts_queued_waits():
+    env = Environment()
+    scheduler, cpus = make_scheduler(env, count=1)
+
+    def slow(cpu):
+        yield from cpu.work(busy_cycles=50_000)
+
+    scheduler.dispatch_on(cpus[0], slow)
+    scheduler.dispatch_on(cpus[0], slow)
+    env.run()
+    assert scheduler.stats.dispatched == 2
+    assert scheduler.stats.queued_waits == 1
+
+
+def test_scheduler_completion_event_carries_result():
+    env = Environment()
+    scheduler, cpus = make_scheduler(env)
+
+    def compute(cpu):
+        yield from cpu.work(busy_cycles=10)
+        return 99
+
+    done = scheduler.dispatch(lambda cpu: compute(cpu))
+    assert env.run(until=done) == 99
+
+
+def test_scheduler_requires_cpus():
+    env = Environment()
+    with pytest.raises(ValueError):
+        CpuScheduler(env, [])
+
+
+# ----------------------------------------------------------------------
+# Send unit stats
+# ----------------------------------------------------------------------
+def test_send_unit_counts_messages_and_packets():
+    env = Environment()
+    switch = ActiveSwitch(env, "sw0")
+    to_switch = Link(env, "ep0->sw0")
+    from_switch = Link(env, "sw0->ep0")
+    adapter = ChannelAdapter(env, "ep0")
+    adapter.attach(tx_link=to_switch, rx_link=from_switch)
+    switch.connect(0, tx_link=from_switch, rx_link=to_switch)
+    switch.routing.add("ep0", 0)
+
+    def chatty_handler(ctx):
+        yield from ctx.send("ep0", 1200)  # 3 packets
+        yield from ctx.deallocate(ctx.address + 512)
+
+    switch.register_handler(1, chatty_handler)
+
+    def sender(env):
+        yield from adapter.transmit(Message(
+            "ep0", "sw0", size_bytes=64,
+            active=ActiveHeader(handler_id=1, address=0)))
+
+    env.process(sender(env))
+    env.run()
+    assert switch.send_unit.stats.messages == 1
+    assert switch.send_unit.stats.packets == 3
+    assert switch.send_unit.stats.bytes == 1200
+    # Compose buffers recycled.
+    assert switch.buffers.in_use == 0
+
+
+def test_atb_stats_track_translations():
+    env = Environment()
+    switch = ActiveSwitch(env, "sw0")
+    to_switch = Link(env, "ep0->sw0")
+    from_switch = Link(env, "sw0->ep0")
+    adapter = ChannelAdapter(env, "ep0")
+    adapter.attach(tx_link=to_switch, rx_link=from_switch)
+    switch.connect(0, tx_link=from_switch, rx_link=to_switch)
+    switch.routing.add("ep0", 0)
+
+    def reader(ctx):
+        yield from ctx.read(ctx.address, 512)
+        yield from ctx.deallocate(ctx.address + 512)
+
+    switch.register_handler(1, reader)
+
+    def sender(env):
+        yield from adapter.transmit(Message(
+            "ep0", "sw0", size_bytes=512,
+            active=ActiveHeader(handler_id=1, address=0)))
+
+    env.process(sender(env))
+    env.run()
+    atb = switch.atb_for(switch.cpus[0])
+    assert atb.stats.translations >= 1
+    assert atb.stats.misses == 0

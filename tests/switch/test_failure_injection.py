@@ -1,0 +1,214 @@
+"""Failure-injection tests: how the active switch behaves under misuse.
+
+The protection model of Section 2 ("for protection reasons, we assume
+there is a small run-time kernel...") implies handler faults must be
+containable and resource misuse detectable; these tests pin down the
+library's failure semantics.
+"""
+
+import pytest
+
+from repro.net import ActiveHeader, ChannelAdapter, Link, Message
+from repro.sim import Environment
+from repro.sim.units import us
+from repro.switch import (
+    ATBError,
+    ActiveSwitch,
+    ActiveSwitchConfig,
+    BufferError,
+)
+
+
+def build_fabric(env, num_buffers=16):
+    switch = ActiveSwitch(
+        env, "sw0",
+        active_config=ActiveSwitchConfig(num_buffers=num_buffers))
+    adapters = []
+    for i in range(2):
+        name = f"ep{i}"
+        to_switch = Link(env, f"{name}->sw0")
+        from_switch = Link(env, f"sw0->{name}")
+        adapter = ChannelAdapter(env, name)
+        adapter.attach(tx_link=to_switch, rx_link=from_switch)
+        switch.connect(i, tx_link=from_switch, rx_link=to_switch)
+        switch.routing.add(name, i)
+        adapters.append(adapter)
+    return switch, adapters
+
+
+def send_active(adapter, handler_id, address, nbytes=64, cpu_id=None):
+    def sender(env):
+        yield from adapter.transmit(Message(
+            "ep0", "sw0", size_bytes=nbytes,
+            active=ActiveHeader(handler_id=handler_id, address=address,
+                                cpu_id=cpu_id)))
+    return sender
+
+
+def test_handler_exception_propagates():
+    """A crashing handler surfaces its error instead of hanging."""
+    env = Environment()
+    switch, (a, b) = build_fabric(env)
+
+    def bad_handler(ctx):
+        yield from ctx.compute(cycles=1)
+        raise RuntimeError("handler bug")
+
+    switch.register_handler(1, bad_handler)
+    env.process(send_active(a, 1, 0x0)(env))
+    with pytest.raises(RuntimeError, match="handler bug"):
+        env.run()
+
+
+def test_forgotten_deallocate_leaks_and_is_observable():
+    """A handler that never deallocates leaves buffers accounted in-use."""
+    env = Environment()
+    switch, (a, b) = build_fabric(env)
+
+    def leaky_handler(ctx):
+        yield from ctx.compute(cycles=10)
+        # no deallocate
+
+    switch.register_handler(2, leaky_handler)
+    env.process(send_active(a, 2, 0x0)(env))
+    env.run()
+    assert switch.buffers.in_use == 1
+    assert switch.buffers.stats.frees == 0
+
+
+def test_buffer_exhaustion_backpressures_instead_of_dropping():
+    """With every buffer leaked, further active messages queue at the
+    DBA; the stream resumes as soon as one buffer frees."""
+    env = Environment()
+    switch, (a, b) = build_fabric(env, num_buffers=2)
+    processed = []
+
+    def hold_handler(ctx):
+        # Holds its buffer until explicitly released via kernel state.
+        processed.append(ctx.address)
+        gate = ctx.kernel_state("gate")
+        yield gate
+        yield from ctx.deallocate(ctx.address + 512)
+
+    gate = env.event()
+    switch.kernel_state["gate"] = gate
+    switch.register_handler(3, hold_handler)
+
+    def sender(env):
+        for i in range(3):
+            yield from a.transmit(Message(
+                "ep0", "sw0", size_bytes=512,
+                active=ActiveHeader(handler_id=3, address=i * 512)))
+
+    def opener(env):
+        yield env.timeout(us(100))
+        gate.succeed()
+
+    env.process(sender(env))
+    env.process(opener(env))
+    env.run()
+    # All three eventually dispatched; the third had to wait for a free
+    # buffer (i.e. after the gate opened).
+    assert len(processed) == 3
+    assert switch.buffers.stats.peak_in_use == 2
+
+
+def test_atb_conflict_from_aliasing_addresses_backpressures():
+    """Two live messages whose addresses alias the direct-mapped ATB do
+    not fail: the second message's dispatch stalls (backpressuring its
+    input port) until the first handler deallocates the entry."""
+    env = Environment()
+    switch, (a, b) = build_fabric(env)
+    started = []
+
+    def slow_handler(ctx):
+        started.append((ctx.address, env.now))
+        yield from ctx.compute(cycles=100_000)  # 200 us at 500 MHz
+        yield from ctx.deallocate(ctx.address + 512)
+
+    switch.register_handler(4, slow_handler)
+
+    def sender(env):
+        # 0x0 and 16*512 alias to ATB entry 0.
+        for address in (0x0, 16 * 512):
+            yield from a.transmit(Message(
+                "ep0", "sw0", size_bytes=512,
+                active=ActiveHeader(handler_id=4, address=address)))
+
+    env.process(sender(env))
+    env.run()
+    assert [addr for addr, _ in started] == [0x0, 16 * 512]
+    # The second message could not even map until the first handler
+    # finished (~200 us in).
+    assert started[1][1] >= us(200)
+    assert switch.buffers.in_use == 0
+
+
+def test_double_free_by_handler_rejected():
+    env = Environment()
+    switch, (a, b) = build_fabric(env)
+
+    def double_free_handler(ctx):
+        yield from ctx.compute(cycles=1)
+        yield from ctx.deallocate(ctx.address + 512)
+        # Second deallocate finds nothing mapped: harmless no-op...
+        yield from ctx.deallocate(ctx.address + 512)
+
+    switch.register_handler(5, double_free_handler)
+    env.process(send_active(a, 5, 0x0)(env))
+    env.run()  # must not raise: release_below is idempotent on empty
+    assert switch.buffers.in_use == 0
+
+
+def test_direct_pool_double_free_rejected():
+    """The DBA itself refuses a raw double free."""
+    env = Environment()
+    switch, _ = build_fabric(env)
+
+    def worker(env):
+        buffer = yield from switch.buffers.allocate()
+        switch.buffers.release(buffer)
+        switch.buffers.release(buffer)
+
+    env.process(worker(env))
+    with pytest.raises(BufferError):
+        env.run()
+
+
+def test_continuation_packet_without_dispatch_rejected():
+    """A seq>0 packet for an unknown message is a protocol violation."""
+    from repro.net.packet import Packet
+    from repro.switch import DispatchError
+    env = Environment()
+    switch, (a, b) = build_fabric(env)
+
+    def sender(env):
+        packet = Packet("ep0", "sw0", payload_bytes=512,
+                        active=ActiveHeader(handler_id=1, address=0x0),
+                        seq=1, last=True)
+        yield from a._tx_link.send(packet)
+
+    env.process(sender(env))
+    with pytest.raises(DispatchError):
+        env.run()
+
+
+def test_reads_past_stream_end_stall_forever_not_crash():
+    """A handler waiting for data that never comes parks (deadlock is
+    the simulated hardware's real behaviour), leaving the queue empty
+    rather than crashing."""
+    env = Environment()
+    switch, (a, b) = build_fabric(env)
+    reached = []
+
+    def overreader(ctx):
+        yield from ctx.read(ctx.address, 512)
+        reached.append("first")
+        # Next region never arrives: the CPU stalls on the ATB mapping.
+        yield from ctx.read(ctx.address + 512, 512)
+        reached.append("second")
+
+    switch.register_handler(6, overreader)
+    env.process(send_active(a, 6, 0x0, nbytes=512)(env))
+    env.run()
+    assert reached == ["first"]

@@ -1,0 +1,120 @@
+"""Direct unit tests for the HandlerContext programming model."""
+
+import pytest
+
+from repro.net import ActiveHeader, ChannelAdapter, Link, Message
+from repro.sim import Environment
+from repro.switch import ActiveSwitch
+
+
+def run_handler(handler, payload=None, size=512, address=0x0, env=None):
+    """Wire a minimal fabric, run one active message through ``handler``."""
+    env = env or Environment()
+    switch = ActiveSwitch(env, "sw0")
+    adapters = {}
+    for port, name in enumerate(("src", "dst")):
+        to_switch = Link(env, f"{name}->sw0")
+        from_switch = Link(env, f"sw0->{name}")
+        adapter = ChannelAdapter(env, name)
+        adapter.attach(tx_link=to_switch, rx_link=from_switch)
+        switch.connect(port, tx_link=from_switch, rx_link=to_switch)
+        switch.routing.add(name, port)
+        adapters[name] = adapter
+    switch.register_handler(1, handler)
+
+    def sender(env):
+        yield from adapters["src"].transmit(Message(
+            "src", "sw0", size_bytes=size,
+            active=ActiveHeader(handler_id=1, address=address),
+            payload=payload))
+
+    env.process(sender(env))
+    env.run()
+    return env, switch, adapters
+
+
+def test_context_exposes_message_metadata():
+    seen = {}
+
+    def handler(ctx):
+        seen["arg"] = ctx.arg
+        seen["address"] = ctx.address
+        seen["size"] = ctx.message.size_bytes
+        seen["src"] = ctx.message.src
+        yield from ctx.deallocate(ctx.address + 512)
+
+    run_handler(handler, payload={"k": 1}, size=300, address=0x2000)
+    assert seen == {"arg": {"k": 1}, "address": 0x2000, "size": 300,
+                    "src": "src"}
+
+
+def test_local_load_store_charge_cache_stalls():
+    stalls = {}
+
+    def handler(ctx):
+        yield from ctx.local_load(0x100000)   # cold: miss to switch RDRAM
+        yield from ctx.local_load(0x100000)   # warm
+        yield from ctx.local_store(0x200000)  # cold store
+        stalls["total"] = ctx.cpu.hierarchy.total_stall_ps
+        yield from ctx.deallocate(ctx.address + 512)
+
+    env, switch, _ = run_handler(handler)
+    assert stalls["total"] > 0
+    cpu = switch.cpus[0]
+    assert cpu.hierarchy.l1d.stats.misses >= 2
+    assert cpu.hierarchy.l1d.stats.hits >= 1
+
+
+def test_local_scan_walks_lines():
+    def handler(ctx):
+        yield from ctx.local_scan(0x0, 256)  # 8 x 32 B lines
+        yield from ctx.deallocate(ctx.address + 512)
+
+    env, switch, _ = run_handler(handler)
+    assert switch.cpus[0].hierarchy.l1d.stats.accesses >= 8
+
+
+def test_payload_at_returns_mapped_payload():
+    seen = {}
+
+    def handler(ctx):
+        yield from ctx.read(ctx.address, 64)
+        seen["payload"] = ctx.payload_at(ctx.address)
+        seen["unmapped"] = ctx.payload_at(0xDEAD000)
+        yield from ctx.deallocate(ctx.address + 512)
+
+    run_handler(handler, payload=b"bytes", address=0x1000)
+    assert seen["payload"] == b"bytes"
+    assert seen["unmapped"] is None
+
+
+def test_kernel_state_default():
+    seen = {}
+
+    def handler(ctx):
+        seen["missing"] = ctx.kernel_state("nope", default=7)
+        ctx.set_kernel_state("written", 11)
+        yield from ctx.deallocate(ctx.address + 512)
+
+    env, switch, _ = run_handler(handler)
+    assert seen["missing"] == 7
+    assert switch.kernel_state["written"] == 11
+
+
+def test_compute_charges_switch_cycles():
+    def handler(ctx):
+        yield from ctx.compute(cycles=1234)
+        yield from ctx.deallocate(ctx.address + 512)
+
+    env, switch, _ = run_handler(handler)
+    assert switch.cpus[0].accounting.busy_ps >= 1234 * 2000
+
+
+def test_send_to_unroutable_destination_raises():
+    from repro.net.routing import RoutingError
+
+    def handler(ctx):
+        yield from ctx.send("nowhere", 64)
+
+    with pytest.raises(RoutingError):
+        run_handler(handler)

@@ -1,0 +1,193 @@
+"""Tests for the reusable handler patterns."""
+
+import pytest
+
+from repro.net import ActiveHeader, ChannelAdapter, Link, Message
+from repro.sim import Environment
+from repro.switch import ActiveSwitch
+from repro.switch.patterns import (
+    aggregate_handler,
+    filter_handler,
+    redirect_handler,
+    stream_loop,
+)
+
+
+def build_fabric(env, endpoints=("src", "dst")):
+    switch = ActiveSwitch(env, "sw0")
+    adapters = {}
+    for port, name in enumerate(endpoints):
+        to_switch = Link(env, f"{name}->sw0")
+        from_switch = Link(env, f"sw0->{name}")
+        adapter = ChannelAdapter(env, name)
+        adapter.attach(tx_link=to_switch, rx_link=from_switch)
+        switch.connect(port, tx_link=from_switch, rx_link=to_switch)
+        switch.routing.add(name, port)
+        adapters[name] = adapter
+    return switch, adapters
+
+
+def send(adapter, handler_id, size, payload=None, address=0):
+    def sender(env):
+        yield from adapter.transmit(Message(
+            adapter.node_id, "sw0", size_bytes=size,
+            active=ActiveHeader(handler_id=handler_id, address=address),
+            payload=payload))
+    return sender
+
+
+def test_stream_loop_releases_all_buffers():
+    env = Environment()
+    switch, adapters = build_fabric(env)
+    seen = []
+
+    def handler(ctx):
+        def process(ctx, offset, chunk):
+            seen.append((offset, chunk))
+            yield from ctx.compute(cycles=1)
+        yield from stream_loop(ctx, process)
+
+    switch.register_handler(1, handler)
+    env.process(send(adapters["src"], 1, 1300)(env))
+    env.run()
+    assert seen == [(0, 512), (512, 512), (1024, 276)]
+    assert switch.buffers.in_use == 0
+
+
+def test_stream_loop_without_process_data():
+    env = Environment()
+    switch, adapters = build_fabric(env)
+
+    def handler(ctx):
+        yield from stream_loop(ctx)
+
+    switch.register_handler(1, handler)
+    env.process(send(adapters["src"], 1, 700)(env))
+    env.run()
+    assert switch.buffers.in_use == 0
+
+
+def test_filter_handler_forwards_selection():
+    env = Environment()
+    switch, adapters = build_fabric(env)
+
+    def selector(payload):
+        kept = [x for x in payload if x % 2 == 0]
+        return len(kept) * 4, kept
+
+    switch.register_handler(1, filter_handler("dst", 2.0, selector))
+    env.process(send(adapters["src"], 1, 512,
+                     payload=list(range(128)))(env))
+
+    results = []
+
+    def receiver(env):
+        message = yield adapters["dst"].recv_queue.get()
+        results.append(message)
+
+    done = env.process(receiver(env))
+    env.run(until=done)
+    assert results[0].payload == list(range(0, 128, 2))
+    assert results[0].size_bytes == 64 * 4
+    assert switch.buffers.in_use == 0
+
+
+def test_filter_handler_sends_nothing_when_empty():
+    env = Environment()
+    switch, adapters = build_fabric(env)
+    switch.register_handler(1, filter_handler("dst", 1.0,
+                                              lambda payload: (0, None)))
+    env.process(send(adapters["src"], 1, 256, payload=[1])(env))
+    env.run()
+    assert adapters["dst"].traffic.messages_in == 0
+    assert switch.buffers.in_use == 0
+
+
+def test_redirect_handler_passthrough():
+    env = Environment()
+    switch, adapters = build_fabric(env)
+    switch.register_handler(1, redirect_handler("dst"))
+    env.process(send(adapters["src"], 1, 1024, payload=b"data")(env))
+
+    def receiver(env):
+        return (yield adapters["dst"].recv_queue.get())
+
+    done = env.process(receiver(env))
+    message = env.run(until=done)
+    assert message.size_bytes == 1024
+    assert message.payload == b"data"
+    env.run()
+    assert switch.buffers.in_use == 0
+
+
+def test_aggregate_handler_combines_and_finishes():
+    env = Environment()
+    switch, adapters = build_fabric(env)
+    switch.kernel_state["total"] = 0
+    switch.kernel_state["expected"] = 3
+
+    def finish(ctx, state):
+        yield from ctx.send("dst", 16, payload=state)
+
+    switch.register_handler(1, aggregate_handler(
+        state_key="total",
+        combine=lambda state, payload: state + payload,
+        expected_key="expected",
+        count_key="count",
+        finish=finish))
+
+    def sender(env):
+        for i, value in enumerate((10, 20, 12)):
+            yield from adapters["src"].transmit(Message(
+                "src", "sw0", size_bytes=64,
+                active=ActiveHeader(handler_id=1, address=i * 512),
+                payload=value))
+
+    env.process(sender(env))
+
+    def receiver(env):
+        return (yield adapters["dst"].recv_queue.get())
+
+    done = env.process(receiver(env))
+    message = env.run(until=done)
+    assert message.payload == 42
+    assert adapters["dst"].traffic.messages_in <= 1
+
+
+def test_filter_charges_compute_cycles():
+    env = Environment()
+    switch, adapters = build_fabric(env)
+    switch.register_handler(1, filter_handler("dst", 4.0,
+                                              lambda p: (0, None)))
+    env.process(send(adapters["src"], 1, 512, payload=[])(env))
+    env.run()
+    # 512 bytes * 4 cycles at 2 ns/cycle.
+    assert switch.cpus[0].accounting.busy_ps >= 512 * 4 * 2000
+
+
+# ----------------------------------------------------------------------
+# Property tests: the canonical loop for arbitrary message sizes
+# ----------------------------------------------------------------------
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+
+@given(size=st.integers(min_value=1, max_value=6 * 512))
+@settings(max_examples=25, deadline=None)
+def test_property_stream_loop_any_size_releases_everything(size):
+    env = Environment()
+    switch, adapters = build_fabric(env)
+    chunks = []
+
+    def handler(ctx):
+        def process(ctx, offset, chunk):
+            chunks.append(chunk)
+            yield from ctx.compute(cycles=1)
+        yield from stream_loop(ctx, process)
+
+    switch.register_handler(1, handler)
+    env.process(send(adapters["src"], 1, size)(env))
+    env.run()
+    assert sum(chunks) == size
+    assert all(c <= 512 for c in chunks)
+    assert switch.buffers.in_use == 0

@@ -1,0 +1,84 @@
+"""The tutorial's code must run exactly as documented (docs/tutorial.md)."""
+
+from repro.net import ActiveHeader, ChannelAdapter, Link, Message
+from repro.sim import Environment
+from repro.switch import ActiveSwitch
+from repro.switch.patterns import stream_loop
+
+
+def test_tutorial_section_1_and_2_redactor_fabric():
+    env = Environment()
+    switch = ActiveSwitch(env, "sw0")
+    adapters = {}
+    for port, name in enumerate(["storage", "analyst"]):
+        to_switch = Link(env, f"{name}->sw0")
+        from_switch = Link(env, f"sw0->{name}")
+        adapter = ChannelAdapter(env, name)
+        adapter.attach(tx_link=to_switch, rx_link=from_switch)
+        switch.connect(port, tx_link=from_switch, rx_link=to_switch)
+        switch.routing.add(name, port)
+        adapters[name] = adapter
+
+    SECRET = b"password="
+
+    def redactor(ctx):
+        def process(ctx, offset, chunk):
+            yield from ctx.compute(cycles=chunk * 3)
+
+        yield from stream_loop(ctx, process)
+        clean = b"\n".join(line for line in ctx.arg.split(b"\n")
+                           if SECRET not in line)
+        yield from ctx.send("analyst", len(clean), payload=clean)
+
+    switch.register_handler(12, redactor)
+
+    log = b"ok line\npassword=hunter2\nanother ok line\n" * 40
+
+    def producer(env):
+        yield from adapters["storage"].transmit(Message(
+            "storage", "sw0", size_bytes=len(log),
+            active=ActiveHeader(handler_id=12, address=0x0),
+            payload=log))
+
+    def consumer(env):
+        return (yield adapters["analyst"].recv_queue.get())
+
+    env.process(producer(env))
+    done = env.process(consumer(env))
+    message = env.run(until=done)
+    assert b"password" not in message.payload
+    assert b"ok line" in message.payload
+    env.run()
+    assert switch.buffers.in_use == 0
+
+
+def test_tutorial_section_3_redactor_app():
+    from repro.apps.base import BlockWork, StreamApp, run_four_cases
+
+    class RedactorApp(StreamApp):
+        name = "redactor"
+        request_bytes = 64 * 1024
+
+        def prepare(self):
+            total = int(8 * 1024 * 1024 * self.scale)
+            redacted_fraction = 0.1
+            for offset in range(0, total, self.request_bytes):
+                nbytes = min(self.request_bytes, total - offset)
+                out = int(nbytes * (1 - redacted_fraction))
+                self.blocks.append(BlockWork(
+                    nbytes=nbytes,
+                    host_cycles=nbytes * 3,
+                    host_stall_fn=(
+                        lambda h, a=0x2000_0000 + offset, n=nbytes:
+                        h.load_range(a, n)),
+                    handler_cycles=nbytes * 3,
+                    out_bytes=out,
+                    active_host_cycles=0,
+                ))
+
+    result = run_four_cases(lambda: RedactorApp(scale=0.125))
+    # The tutorial's sanity checks.
+    assert (result.case("normal+pref").exec_ps
+            <= result.case("normal").exec_ps)
+    assert result.normalized_traffic("active") > 0.85  # only 10% dropped
+    assert result.utilization("active") < result.utilization("normal")

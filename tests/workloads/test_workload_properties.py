@@ -1,0 +1,76 @@
+"""Property tests for workload generators (shape invariants)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.workloads import datamation, files, mpeg, records, text
+
+
+@given(total=st.integers(min_value=1024, max_value=200_000))
+@settings(max_examples=20, deadline=None)
+def test_property_mpeg_streams_parse_back(total):
+    stream = mpeg.generate_stream(total_bytes=total)
+    parsed = mpeg.parse_frames(stream.data)
+    assert len(parsed) == len(stream.frames)
+    assert sum(f.total_bytes for f in parsed) == len(stream.data)
+    # Frames tile the stream with no gaps.
+    offset = 0
+    for frame in parsed:
+        assert frame.offset == offset
+        offset += frame.total_bytes
+
+
+@given(total=st.integers(min_value=10_000, max_value=300_000),
+       matches=st.integers(min_value=1, max_value=20))
+@settings(max_examples=15, deadline=None)
+def test_property_text_match_count_exact(total, matches):
+    data = text.generate_text(total_bytes=total, match_lines=matches)
+    assert len(data) == total
+    assert text.count_matching_lines(data) == matches
+
+
+@given(size=st.integers(min_value=records.RECORD_BYTES * 8,
+                        max_value=records.RECORD_BYTES * 4000),
+       selectivity=st.floats(min_value=0.0, max_value=1.0))
+@settings(max_examples=20, deadline=None)
+def test_property_select_table_selectivity(size, selectivity):
+    table = records.generate_select_table(size, selectivity=selectivity)
+    matching = sum(1 for k in table.keys
+                   if records.SELECT_LOW <= k < records.SELECT_HIGH)
+    fraction = matching / table.num_records
+    # Binomial sampling noise: allow a generous band.
+    assert abs(fraction - selectivity) < 0.2
+
+
+@given(total=st.integers(min_value=2048, max_value=10_000_000))
+@settings(max_examples=20, deadline=None)
+def test_property_filesets_conserve_bytes(total):
+    fileset = files.generate_fileset(total_bytes=total)
+    assert files.total_size(fileset) == total
+    assert all(f.size > 0 for f in fileset)
+    assert len({f.name for f in fileset}) == len(fileset)
+
+
+@given(count=st.integers(min_value=1, max_value=2000),
+       nodes=st.integers(min_value=1, max_value=32))
+@settings(max_examples=20, deadline=None)
+def test_property_datamation_partition_total(count, nodes):
+    keys = datamation.generate_keys(count)
+    counts = datamation.partition_counts(keys, nodes)
+    assert sum(counts) == count
+    assert len(counts) == nodes
+
+
+@given(pass_fraction=st.floats(min_value=0.0, max_value=1.0))
+@settings(max_examples=15, deadline=None)
+def test_property_s_table_never_false_negative(pass_fraction):
+    """Keys drawn as 'passing' really exist in R (the bit-vector can
+    only add false positives, never lose true matches)."""
+    r = records.generate_r_table(32 * records.RECORD_BYTES * 4)
+    s = records.generate_s_table(64 * records.RECORD_BYTES * 4, r,
+                                 pass_fraction=pass_fraction)
+    r_keys = set(r.keys)
+    true_matches = sum(1 for k in s.keys if k in r_keys)
+    expected = pass_fraction * s.num_records
+    assert abs(true_matches - expected) <= max(20, 0.3 * s.num_records)

@@ -1,0 +1,178 @@
+"""Unit tests for the synthetic workload generators."""
+
+import pytest
+
+from repro.workloads import datamation, files, mpeg, records, text
+
+
+# ----------------------------------------------------------------------
+# MPEG streams
+# ----------------------------------------------------------------------
+def test_mpeg_stream_size():
+    stream = mpeg.generate_stream(total_bytes=200_000)
+    assert abs(stream.total_bytes - 200_000) < 16 * 1024
+
+
+def test_mpeg_p_fraction_near_target():
+    stream = mpeg.generate_stream(total_bytes=500_000)
+    assert stream.byte_fraction(mpeg.FRAME_P) == pytest.approx(0.635, abs=0.05)
+
+
+def test_mpeg_parse_roundtrip():
+    stream = mpeg.generate_stream(total_bytes=100_000)
+    parsed = mpeg.parse_frames(stream.data)
+    assert [(f.frame_type, f.offset, f.total_bytes) for f in parsed] == \
+        [(f.frame_type, f.offset, f.total_bytes) for f in stream.frames]
+
+
+def test_mpeg_deterministic():
+    a = mpeg.generate_stream(total_bytes=50_000, seed=1)
+    b = mpeg.generate_stream(total_bytes=50_000, seed=1)
+    assert a.data == b.data
+
+
+def test_mpeg_parse_rejects_garbage():
+    with pytest.raises(ValueError):
+        mpeg.parse_frames(b"\xff" * 100)
+
+
+def test_mpeg_validation():
+    with pytest.raises(ValueError):
+        mpeg.generate_stream(total_bytes=4)
+    with pytest.raises(ValueError):
+        mpeg.generate_stream(total_bytes=1000, p_fraction=1.5)
+
+
+# ----------------------------------------------------------------------
+# Database tables
+# ----------------------------------------------------------------------
+def test_r_table_distinct_keys():
+    table = records.generate_r_table(64 * 1024)
+    assert table.num_records == 512
+    assert len(set(table.keys)) == 512
+
+
+def test_s_table_pass_fraction():
+    r = records.generate_r_table(64 * 1024)
+    s = records.generate_s_table(1024 * 1024, r, pass_fraction=0.24)
+    r_keys = set(r.keys)
+    passing = sum(1 for k in s.keys if k in r_keys)
+    assert passing / s.num_records == pytest.approx(0.24, abs=0.03)
+
+
+def test_s_table_nonpassing_keys_absent_from_r():
+    r = records.generate_r_table(16 * 1024)
+    s = records.generate_s_table(64 * 1024, r, pass_fraction=0.0)
+    assert not set(s.keys) & set(r.keys)
+
+
+def test_select_table_selectivity():
+    table = records.generate_select_table(1024 * 1024, selectivity=0.25)
+    matching = sum(1 for k in table.keys
+                   if records.SELECT_LOW <= k < records.SELECT_HIGH)
+    assert matching / table.num_records == pytest.approx(0.25, abs=0.03)
+
+
+def test_table_size_accounting():
+    table = records.generate_select_table(128 * 1024)
+    assert table.size_bytes == 128 * 1024
+    assert records.records_per_block(64 * 1024) == 512
+
+
+def test_table_validation():
+    with pytest.raises(ValueError):
+        records.generate_r_table(10)
+    r = records.generate_r_table(16 * 1024)
+    with pytest.raises(ValueError):
+        records.generate_s_table(64 * 1024, r, pass_fraction=2.0)
+
+
+# ----------------------------------------------------------------------
+# Grep text
+# ----------------------------------------------------------------------
+def test_text_exact_match_count():
+    data = text.generate_text(total_bytes=100_000, match_lines=16)
+    assert text.count_matching_lines(data) == 16
+
+
+def test_text_size():
+    data = text.generate_text(total_bytes=100_000)
+    assert abs(len(data) - 100_000) < 200
+
+
+def test_text_deterministic():
+    assert (text.generate_text(total_bytes=10_000)
+            == text.generate_text(total_bytes=10_000))
+
+
+def test_matching_line_bytes_counts_only_matches():
+    data = text.generate_text(total_bytes=50_000, match_lines=4)
+    match_bytes = text.matching_line_bytes(data)
+    assert 0 < match_bytes < 1000  # 4 short lines
+
+
+def test_paper_parameters():
+    assert text.PAPER_FILE_BYTES == 1_146_880
+    assert text.PAPER_MATCH_LINES == 16
+    assert text.PAPER_PATTERN == "Big Red Bear"
+
+
+# ----------------------------------------------------------------------
+# Tar file sets
+# ----------------------------------------------------------------------
+def test_fileset_total_size():
+    fileset = files.generate_fileset(total_bytes=1024 * 1024)
+    assert files.total_size(fileset) == 1024 * 1024
+
+
+def test_fileset_deterministic_content():
+    spec = files.FileSpec(name="x.bin", size=1000)
+    assert spec.content() == spec.content()
+    assert len(spec.content()) == 1000
+
+
+def test_fileset_names_unique():
+    fileset = files.generate_fileset(total_bytes=2 * 1024 * 1024)
+    names = [f.name for f in fileset]
+    assert len(names) == len(set(names))
+
+
+def test_fileset_validation():
+    with pytest.raises(ValueError):
+        files.generate_fileset(total_bytes=0)
+
+
+# ----------------------------------------------------------------------
+# Datamation records
+# ----------------------------------------------------------------------
+def test_datamation_key_size():
+    keys = datamation.generate_keys(100)
+    assert all(len(k) == 10 for k in keys)
+
+
+def test_datamation_uniform_partitioning():
+    keys = datamation.generate_keys(8000)
+    counts = datamation.partition_counts(keys, 4)
+    assert sum(counts) == 8000
+    for count in counts:
+        assert count == pytest.approx(2000, rel=0.1)
+
+
+def test_datamation_assignment_consistent():
+    keys = datamation.generate_keys(50)
+    boundaries = datamation.range_boundaries(4)
+    for key in keys:
+        node = datamation.assign_node(key, boundaries)
+        assert 0 <= node < 4
+
+
+def test_datamation_validation():
+    with pytest.raises(ValueError):
+        datamation.generate_keys(0)
+    with pytest.raises(ValueError):
+        datamation.range_boundaries(0)
+
+
+def test_record_layout_constants():
+    assert datamation.RECORD_BYTES == 100
+    assert datamation.KEY_BYTES == 10

@@ -1,0 +1,81 @@
+"""Unit and property tests for the Zipf key generator."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.workloads import zipf
+from repro.workloads.datamation import KEY_BYTES
+
+
+def test_cdf_is_monotone_and_normalized():
+    cdf = zipf.zipf_cdf(100, 1.0)
+    assert all(a <= b for a, b in zip(cdf, cdf[1:]))
+    assert cdf[-1] == pytest.approx(1.0)
+
+
+def test_exponent_zero_is_uniform():
+    cdf = zipf.zipf_cdf(10, 0.0)
+    assert cdf[0] == pytest.approx(0.1)
+    assert cdf[4] == pytest.approx(0.5)
+
+
+def test_higher_exponent_concentrates_mass():
+    flat = zipf.zipf_cdf(100, 0.0)
+    steep = zipf.zipf_cdf(100, 1.5)
+    assert steep[9] > flat[9]  # top-10 ranks hold more mass
+
+
+def test_keys_have_right_shape():
+    keys = zipf.generate_zipf_keys(500, exponent=1.0)
+    assert len(keys) == 500
+    assert all(len(k) == KEY_BYTES for k in keys)
+
+
+def test_deterministic_under_seed():
+    a = zipf.generate_zipf_keys(200, exponent=1.0, seed=7)
+    b = zipf.generate_zipf_keys(200, exponent=1.0, seed=7)
+    assert a == b
+    c = zipf.generate_zipf_keys(200, exponent=1.0, seed=8)
+    assert a != c
+
+
+def test_skew_increases_partition_imbalance():
+    uniform = zipf.generate_zipf_keys(8000, exponent=0.0)
+    skewed = zipf.generate_zipf_keys(8000, exponent=1.2)
+    assert (zipf.partition_imbalance(skewed, 8)
+            > zipf.partition_imbalance(uniform, 8))
+
+
+def test_uniform_nearly_balanced():
+    keys = zipf.generate_zipf_keys(16000, exponent=0.0)
+    assert zipf.partition_imbalance(keys, 4) < 1.1
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        zipf.zipf_cdf(0, 1.0)
+    with pytest.raises(ValueError):
+        zipf.zipf_cdf(10, -1.0)
+    with pytest.raises(ValueError):
+        zipf.generate_zipf_keys(0)
+    with pytest.raises(ValueError):
+        zipf.partition_imbalance([], 0)
+
+
+@given(exponent=st.floats(min_value=0.0, max_value=2.0),
+       num=st.integers(min_value=1, max_value=200))
+@settings(max_examples=40, deadline=None)
+def test_property_cdf_valid_distribution(exponent, num):
+    cdf = zipf.zipf_cdf(num, exponent)
+    assert len(cdf) == num
+    assert cdf[-1] == pytest.approx(1.0)
+    assert all(0 < v <= 1.0 + 1e-9 for v in cdf)
+
+
+@given(num_nodes=st.integers(min_value=1, max_value=16))
+@settings(max_examples=20, deadline=None)
+def test_property_imbalance_bounds(num_nodes):
+    keys = zipf.generate_zipf_keys(2000, exponent=0.8, seed=5)
+    imbalance = zipf.partition_imbalance(keys, num_nodes)
+    assert 1.0 - 1e-9 <= imbalance <= num_nodes + 1e-9
