@@ -171,6 +171,9 @@ class StreamApp:
     # ------------------------------------------------------------------
     def run_case(self, config: ClusterConfig) -> CaseResult:
         system = System(config)
+        # Failure context: a wedged run's DeadlockError/WatchdogError
+        # names the benchmark and configuration it happened in.
+        system.env.add_context(app=self.name, config=config.case_label)
         if config.active:
             runner = self.run_active(system, config.prefetch_depth)
         else:

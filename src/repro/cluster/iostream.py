@@ -85,9 +85,24 @@ class ReadStream:
             # prior activity) has already positioned the heads.
             self.storage.disks.position_heads(base_offset)
         self.num_blocks = -(-total_bytes // request_bytes)
-        self._tokens = Container(self.env, capacity=depth, init=depth)
-        self._arrivals: Store = Store(self.env)
-        self._producer = self.env.process(self._produce(), name="read-stream")
+        label = f"read-stream:{host.name}->" \
+                f"{'switch' if to_switch else host.name}"
+        self._tokens = Container(self.env, capacity=depth, init=depth,
+                                 name=f"{label}.tokens")
+        self._arrivals: Store = Store(self.env, name=f"{label}.arrivals")
+        self._issued = 0
+        self._delivered = 0
+        self._label = label
+        self.env.add_context_provider(self._failure_context)
+        self._producer = self.env.process(self._produce(), name=label)
+
+    def _failure_context(self) -> dict:
+        """Live progress snapshot for deadlock/watchdog reports: shows
+        *where* a wedged benchmark run stopped making progress."""
+        return {self._label: (
+            f"{self._issued}/{self.num_blocks} blocks issued, "
+            f"{self._delivered} delivered, "
+            f"{self._tokens.level}/{self._tokens.capacity} tokens free")}
 
     # ------------------------------------------------------------------
     # Producer side
@@ -106,6 +121,7 @@ class ReadStream:
     def _produce(self):
         for index in range(self.num_blocks):
             yield self._tokens.get(1)
+            self._issued += 1
             nbytes = self._block_size(index)
             yield from self._charge_request(nbytes)
             yield self.env.timeout(self.system.request_path_ps())
@@ -133,6 +149,7 @@ class ReadStream:
                          if self.payloads is not None else None),
             )
             yield self._arrivals.put(arrival)
+            self._delivered += 1
 
     def _finish(self, done, last_tail_ps: int, end_event, nbytes: int):
         yield done
@@ -195,9 +212,19 @@ class WriteStream:
         self.storage = system.storage_nodes[storage_index]
         self.from_switch = from_switch
         self._offset = base_offset
-        self._tokens = Container(self.env, capacity=depth, init=depth)
+        label = f"write-stream:{host.name}"
+        self._tokens = Container(self.env, capacity=depth, init=depth,
+                                 name=f"{label}.tokens")
         self._inflight = []
         self.bytes_written = 0
+        self._label = label
+        self.env.add_context_provider(self._failure_context)
+
+    def _failure_context(self) -> dict:
+        return {self._label: (
+            f"{self.bytes_written} B committed, "
+            f"{len(self._inflight)} writes submitted, "
+            f"{self._tokens.level}/{self._tokens.capacity} tokens free")}
 
     def _charge_request(self, nbytes: int):
         if self.request_cost == "os":

@@ -150,13 +150,9 @@ class System:
             return
             yield  # pragma: no cover
         _, from_switch = self._links[host.name]
-        wire = from_switch.acquire()
-        grant = wire.request()
-        yield grant
-        try:
+        with from_switch.acquire().request() as grant:
+            yield grant
             yield self.env.timeout(from_switch.occupancy_ps(nbytes))
-        finally:
-            wire.release(grant)
         host.hca.account_bulk_in(nbytes)
 
     def host_to_host_bulk(self, src: ComputeNode, dst: ComputeNode,
@@ -171,16 +167,12 @@ class System:
             yield  # pragma: no cover
         to_switch, _ = self._links[src.name]
         _, from_switch = self._links[dst.name]
-        up = to_switch.acquire().request()
-        down = from_switch.acquire().request()
-        yield self.env.all_of([up, down])
-        try:
+        with to_switch.acquire().request() as up, \
+                from_switch.acquire().request() as down:
+            yield self.env.all_of([up, down])
             yield self.env.timeout(
                 to_switch.occupancy_ps(nbytes)
                 + self.config.switch.routing_latency_ps)
-        finally:
-            to_switch.acquire().release(up)
-            from_switch.acquire().release(down)
         src.hca.account_bulk_out(nbytes)
         dst.hca.account_bulk_in(nbytes)
 
@@ -194,12 +186,9 @@ class System:
             return
             yield  # pragma: no cover
         _, from_switch = self._links[dst_name]
-        grant = from_switch.acquire().request()
-        yield grant
-        try:
+        with from_switch.acquire().request() as grant:
+            yield grant
             yield self.env.timeout(from_switch.occupancy_ps(nbytes))
-        finally:
-            from_switch.acquire().release(grant)
 
     # ------------------------------------------------------------------
     # Block-level handler execution

@@ -63,9 +63,16 @@ class Disk:
         self.name = name
         self.config = config
         self.stats = DiskStats()
-        self.arm = Resource(env, capacity=1)
+        self.arm = Resource(env, capacity=1, name=f"{name}.arm")
         self.busy = BusyTracker(env)
         self._head_position = -1  # byte offset after the last transfer
+        env.add_context_provider(self._failure_context)
+
+    def _failure_context(self) -> dict:
+        return {f"disk:{self.name}": (
+            f"{self.stats.requests} reqs, "
+            f"{'busy' if self.busy.busy else 'idle'}, "
+            f"{len(self.arm.queue)} queued on arm")}
 
     def position_head(self, offset: int) -> None:
         """Pre-position the head (models OS read-ahead having already
@@ -82,56 +89,54 @@ class Disk:
         """
         if nbytes <= 0:
             raise ValueError(f"read size must be positive, got {nbytes}")
-        grant = self.arm.request()
-        yield grant
-        self.busy.enter()
-        try:
-            self.stats.requests += 1
-            sequential = offset == self._head_position
-            if sequential:
-                self.stats.sequential_requests += 1
-            else:
-                positioning = self.config.seek_ps + self.config.half_rotation_ps
-                self.stats.positioning_ps += positioning
-                yield self.env.timeout(positioning)
-            if started is not None and not started.triggered:
-                started.succeed()
-            transfer = transfer_ps(nbytes, self.config.bandwidth_bytes_per_s)
-            self.stats.transfer_ps_total += transfer
-            self.stats.bytes_read += nbytes
-            yield self.env.timeout(transfer)
-            self._head_position = offset + nbytes
-        finally:
-            self.busy.exit()
-            self.arm.release(grant)
+        with self.arm.request() as grant:
+            yield grant
+            self.busy.enter()
+            try:
+                self.stats.requests += 1
+                sequential = offset == self._head_position
+                if sequential:
+                    self.stats.sequential_requests += 1
+                else:
+                    positioning = self.config.seek_ps + self.config.half_rotation_ps
+                    self.stats.positioning_ps += positioning
+                    yield self.env.timeout(positioning)
+                if started is not None and not started.triggered:
+                    started.succeed()
+                transfer = transfer_ps(nbytes, self.config.bandwidth_bytes_per_s)
+                self.stats.transfer_ps_total += transfer
+                self.stats.bytes_read += nbytes
+                yield self.env.timeout(transfer)
+                self._head_position = offset + nbytes
+            finally:
+                self.busy.exit()
 
     def write(self, offset: int, nbytes: int, started=None):
         """Write ``nbytes`` at ``offset``; same mechanics as read (the
         paper's disk model is symmetric: position, then stream)."""
         if nbytes <= 0:
             raise ValueError(f"write size must be positive, got {nbytes}")
-        grant = self.arm.request()
-        yield grant
-        self.busy.enter()
-        try:
-            self.stats.requests += 1
-            sequential = offset == self._head_position
-            if sequential:
-                self.stats.sequential_requests += 1
-            else:
-                positioning = self.config.seek_ps + self.config.half_rotation_ps
-                self.stats.positioning_ps += positioning
-                yield self.env.timeout(positioning)
-            if started is not None and not started.triggered:
-                started.succeed()
-            transfer = transfer_ps(nbytes, self.config.bandwidth_bytes_per_s)
-            self.stats.transfer_ps_total += transfer
-            self.stats.bytes_written += nbytes
-            yield self.env.timeout(transfer)
-            self._head_position = offset + nbytes
-        finally:
-            self.busy.exit()
-            self.arm.release(grant)
+        with self.arm.request() as grant:
+            yield grant
+            self.busy.enter()
+            try:
+                self.stats.requests += 1
+                sequential = offset == self._head_position
+                if sequential:
+                    self.stats.sequential_requests += 1
+                else:
+                    positioning = self.config.seek_ps + self.config.half_rotation_ps
+                    self.stats.positioning_ps += positioning
+                    yield self.env.timeout(positioning)
+                if started is not None and not started.triggered:
+                    started.succeed()
+                transfer = transfer_ps(nbytes, self.config.bandwidth_bytes_per_s)
+                self.stats.transfer_ps_total += transfer
+                self.stats.bytes_written += nbytes
+                yield self.env.timeout(transfer)
+                self._head_position = offset + nbytes
+            finally:
+                self.busy.exit()
 
     def __repr__(self) -> str:
         return f"<Disk {self.name}: {self.stats.bytes_read} B read>"

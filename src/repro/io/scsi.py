@@ -50,23 +50,26 @@ class ScsiBus:
         self.name = name
         self.config = config
         self.stats = ScsiStats()
-        self._bus = Resource(env, capacity=1)
+        self._bus = Resource(env, capacity=1, name=f"{name}.bus")
+        env.add_context_provider(self._failure_context)
+
+    def _failure_context(self) -> dict:
+        return {f"scsi:{self.name}": (
+            f"{self.stats.transactions} transactions, "
+            f"{len(self._bus.queue)} queued on bus")}
 
     def transaction(self, nbytes: int):
         """One bus transaction moving ``nbytes``."""
         if nbytes < 0:
             raise ValueError(f"negative transaction size {nbytes}")
-        grant = self._bus.request()
-        yield grant
-        try:
+        with self._bus.request() as grant:
+            yield grant
             duration = (self.config.transaction_overhead_ps
                         + transfer_ps(nbytes, self.config.bandwidth_bytes_per_s))
             self.stats.transactions += 1
             self.stats.bytes += nbytes
             self.stats.busy_ps += duration
             yield self.env.timeout(duration)
-        finally:
-            self._bus.release(grant)
 
     def occupancy_ps(self, nbytes: int) -> int:
         """Analytic cost of one transaction (no contention)."""

@@ -46,8 +46,22 @@ class TimeWeighted:
         self.set(self._value + delta)
 
     def mean(self, until_ps: Optional[int] = None) -> float:
-        """Time-weighted mean from creation to ``until_ps`` (default now)."""
+        """Time-weighted mean from creation to ``until_ps`` (default now).
+
+        ``until_ps`` must not predate the last :meth:`set`/:meth:`add`:
+        only the running integral is retained, so a mean ending inside
+        already-integrated history cannot be reconstructed — and naively
+        integrating a *negative* open segment would silently corrupt
+        utilization figures.  Such a query raises :class:`ValueError`.
+        ``until_ps`` beyond ``env.now`` is allowed and extrapolates the
+        current value.
+        """
         end = self.env.now if until_ps is None else until_ps
+        if end < self._last_change_ps:
+            raise ValueError(
+                f"mean(until_ps={end}) predates the last change at "
+                f"{self._last_change_ps} ps; time-weighted history before "
+                f"that point is not retained")
         span = end - self._start_ps
         if span <= 0:
             return self._value

@@ -84,7 +84,8 @@ class ChannelAdapter:
     def attach(self, tx_link: Link, rx_link: Link) -> None:
         """Connect to the fabric and start draining the receive side."""
         self._tx_link = tx_link
-        self.env.process(self._rx_loop(rx_link), name=f"{self.node_id}-rx")
+        self.env.process(self._rx_loop(rx_link), name=f"{self.node_id}-rx",
+                         daemon=True)
 
     def _rx_loop(self, rx_link: Link):
         while True:

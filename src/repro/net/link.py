@@ -58,10 +58,11 @@ class Link:
         self.config = config
         self.stats = LinkStats()
         #: Delivered packets awaiting the receiver.
-        self.delivered: Store = Store(env)
+        self.delivered: Store = Store(env, name=f"{name}.delivered")
         self._credits = Container(env, capacity=config.credits,
-                                  init=config.credits)
-        self._wire = Resource(env, capacity=1)
+                                  init=config.credits,
+                                  name=f"{name}.credits")
+        self._wire = Resource(env, capacity=1, name=f"{name}.wire")
         self.busy = BusyTracker(env)
 
     # ------------------------------------------------------------------
@@ -75,14 +76,13 @@ class Link:
         delivery continue asynchronously.
         """
         yield self._credits.get(1)
-        grant = self._wire.request()
-        yield grant
-        self.busy.enter()
-        try:
-            yield self.env.timeout(self.serialization_ps(packet.wire_bytes))
-        finally:
-            self.busy.exit()
-            self._wire.release(grant)
+        with self._wire.request() as grant:
+            yield grant
+            self.busy.enter()
+            try:
+                yield self.env.timeout(self.serialization_ps(packet.wire_bytes))
+            finally:
+                self.busy.exit()
         self.stats.packets += 1
         self.stats.bytes += packet.wire_bytes
         if packet.notify is not None and not packet.notify.triggered:

@@ -22,8 +22,14 @@ from __future__ import annotations
 
 from heapq import heappop, heappush
 from itertools import count
-from typing import Any, Generator, Iterable, Optional
+from typing import Any, Callable, Dict, Generator, Iterable, List, Optional, Tuple
 
+from .diagnostics import (
+    DeadlockError,
+    WatchdogError,
+    format_failure_context,
+    format_wait_graph,
+)
 from .events import AllOf, AnyOf, Event, Process, SimulationError, Timeout
 
 __all__ = ["Environment", "Infinity"]
@@ -45,6 +51,18 @@ class Environment:
         self._queue: list = []
         self._eid = count()
         self._active_process: Optional[Process] = None
+        #: Processes whose generator has not finished (kept for deadlock
+        #: diagnostics; Process registers/deregisters itself).
+        self._alive_processes: set = set()
+        self._event_count = 0
+        # Watchdog state — disarmed unless watchdog() is called.
+        self._watchdog_armed = False
+        self._max_events: Optional[int] = None
+        self._max_time_ps: Optional[int] = None
+        self._watchdog_base_events = 0
+        #: Static failure context (see add_context).
+        self.context: Dict[str, Any] = {}
+        self._context_providers: List[Callable[[], Dict[str, Any]]] = []
 
     # ------------------------------------------------------------------
     # Clock and queue
@@ -76,6 +94,7 @@ class Environment:
         except IndexError:
             raise SimulationError("no scheduled events") from None
         self._now = when
+        self._event_count += 1
         event._process()
 
     def run(self, until: Optional[Any] = None) -> Any:
@@ -83,10 +102,21 @@ class Environment:
 
         ``until`` may be ``None`` (drain the queue), an integer time, or
         an :class:`Event` (run until it is processed, return its value).
+
+        Deadlock detection: when the queue drains (``until=None``) or
+        drains before an event sentinel is reached, and non-daemon
+        processes are still alive, :class:`DeadlockError` is raised
+        with the wait-for graph (process -> primitive -> holders)
+        instead of returning silently with work undone.  Running to an
+        integer horizon performs no deadlock check, since callers
+        routinely schedule more work afterwards.
         """
         if until is None:
             while self._queue:
                 self.step()
+                if self._watchdog_armed:
+                    self._watchdog_check()
+            self._deadlock_check("event queue drained")
             return None
 
         if isinstance(until, Event):
@@ -95,7 +125,11 @@ class Environment:
             sentinel.add_callback(lambda _e: finished.append(True))
             while self._queue and not finished:
                 self.step()
+                if self._watchdog_armed:
+                    self._watchdog_check()
             if not finished:
+                self._deadlock_check(
+                    f"event queue drained before {sentinel!r} was processed")
                 raise SimulationError(
                     f"queue drained before {sentinel!r} was processed")
             if not sentinel.ok:
@@ -108,8 +142,111 @@ class Environment:
                 f"cannot run until {horizon}: already at {self._now}")
         while self._queue and self._queue[0][0] <= horizon:
             self.step()
+            if self._watchdog_armed:
+                self._watchdog_check()
         self._now = horizon
         return None
+
+    # ------------------------------------------------------------------
+    # Diagnostics: deadlock detection, watchdog, failure context
+    # ------------------------------------------------------------------
+    @property
+    def event_count(self) -> int:
+        """Total events processed since the environment was created."""
+        return self._event_count
+
+    @property
+    def alive_processes(self) -> Tuple[Process, ...]:
+        """Processes whose generator has not finished (daemons included)."""
+        return tuple(self._alive_processes)
+
+    def _deadlock_check(self, reason: str) -> None:
+        """Raise :class:`DeadlockError` if non-daemon processes remain."""
+        blocked = sorted(
+            (p for p in self._alive_processes if not p.daemon),
+            key=lambda p: (p.name or "", id(p)))
+        if not blocked:
+            return
+        parts = [
+            f"deadlock: {reason} at t={self._now} ps with "
+            f"{len(blocked)} process(es) still blocked:",
+            format_wait_graph(blocked),
+        ]
+        context = format_failure_context(self)
+        if context:
+            parts.append(context)
+        raise DeadlockError("\n".join(parts),
+                            blocked=[(p, p._target) for p in blocked])
+
+    def watchdog(self, max_events: Optional[int] = None,
+                 max_time_ps: Optional[int] = None) -> None:
+        """Arm (or, with no arguments, disarm) runaway-run guards.
+
+        ``max_events`` bounds how many further events :meth:`run` may
+        process; ``max_time_ps`` bounds the clock.  Exceeding either
+        raises :class:`WatchdogError` carrying the wait-for graph and
+        failure context — the escape hatch for livelocks (e.g. two
+        processes ping-ponging zero-delay events) that the drain-based
+        deadlock detector can never see.
+        """
+        if max_events is not None and max_events <= 0:
+            raise ValueError(f"max_events must be positive, got {max_events}")
+        if max_time_ps is not None and max_time_ps <= 0:
+            raise ValueError(f"max_time_ps must be positive, got {max_time_ps}")
+        self._max_events = max_events
+        self._max_time_ps = max_time_ps
+        self._watchdog_base_events = self._event_count
+        self._watchdog_armed = max_events is not None or max_time_ps is not None
+
+    def _watchdog_check(self) -> None:
+        if self._max_events is not None:
+            spent = self._event_count - self._watchdog_base_events
+            if spent > self._max_events:
+                raise WatchdogError(
+                    self._watchdog_message(
+                        f"processed {spent} events (limit {self._max_events})"),
+                    limit=self._max_events, observed=spent)
+        if self._max_time_ps is not None and self._now > self._max_time_ps:
+            raise WatchdogError(
+                self._watchdog_message(
+                    f"clock reached {self._now} ps (limit {self._max_time_ps} ps)"),
+                limit=self._max_time_ps, observed=self._now)
+
+    def _watchdog_message(self, what: str) -> str:
+        parts = [f"watchdog tripped: {what}"]
+        alive = [p for p in self._alive_processes if not p.daemon]
+        if alive:
+            parts.append(f"{len(alive)} non-daemon process(es) alive:")
+            parts.append(format_wait_graph(alive))
+        context = format_failure_context(self)
+        if context:
+            parts.append(context)
+        return "\n".join(parts)
+
+    def add_context(self, **info: Any) -> None:
+        """Attach static failure context (e.g. ``app='grep'``,
+        ``config='active+pref'``) included in deadlock/watchdog errors."""
+        self.context.update(info)
+
+    def add_context_provider(
+            self, provider: Callable[[], Dict[str, Any]]) -> None:
+        """Register a callable returning live context (stream progress,
+        queue depths); sampled only when a failure is being reported."""
+        self._context_providers.append(provider)
+
+    def failure_context(self) -> Dict[str, Any]:
+        """Static context merged with every provider's live snapshot.
+
+        A provider that raises is skipped — diagnostics must never mask
+        the failure being reported.
+        """
+        context = dict(self.context)
+        for provider in self._context_providers:
+            try:
+                context.update(provider())
+            except Exception:
+                pass
+        return context
 
     # ------------------------------------------------------------------
     # Event factories
@@ -122,9 +259,16 @@ class Environment:
         """An event firing ``delay`` ps from now."""
         return Timeout(self, delay, value)
 
-    def process(self, generator: Generator, name: Optional[str] = None) -> Process:
-        """Start a new process from ``generator``."""
-        return Process(self, generator, name=name)
+    def process(self, generator: Generator, name: Optional[str] = None,
+                daemon: bool = False) -> Process:
+        """Start a new process from ``generator``.
+
+        Pass ``daemon=True`` for perpetual service loops (link
+        receivers, switch forwarding): daemons are expected to still be
+        blocked when the workload completes, so the deadlock detector
+        ignores them.
+        """
+        return Process(self, generator, name=name, daemon=daemon)
 
     def all_of(self, events: Iterable[Event]) -> AllOf:
         """An event firing when all of ``events`` have fired."""

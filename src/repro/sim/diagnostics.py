@@ -1,0 +1,109 @@
+"""Deadlock and watchdog diagnostics for the event kernel.
+
+A simulation that wedges is worse than one that crashes: the paper's
+utilization and execution-time figures are only trustworthy if a run
+that cannot make progress fails *loudly*, naming the processes involved
+and the primitives they block on.  This module supplies the two
+failure types and the wait-for-graph formatting used by
+:meth:`Environment.run` and :meth:`Environment.watchdog`:
+
+* :class:`DeadlockError` — the event queue drained while non-daemon
+  processes were still blocked; carries ``blocked``, a list of
+  ``(process, event)`` pairs, and a message rendering the wait-for
+  graph (process name -> primitive it waits on -> holders / queue
+  depth).
+* :class:`WatchdogError` — an opt-in ``env.watchdog()`` limit
+  (``max_events`` / ``max_time_ps``) was exceeded, catching livelocks
+  and runaway schedules that a drain-based detector cannot see.
+
+Both subclass :class:`SimulationError`, so existing ``except``
+clauses keep working, and both append the environment's *failure
+context* — static key=value pairs (``env.add_context(app=...)``) plus
+live snapshots from registered providers (stream progress, disk queue
+depths) — so a wedged benchmark reports *where* it wedged.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Tuple
+
+from .events import Condition, Event, Process, SimulationError
+
+__all__ = [
+    "DeadlockError",
+    "WatchdogError",
+    "describe_wait",
+    "format_wait_graph",
+]
+
+
+class DeadlockError(SimulationError):
+    """The event queue drained while processes were still blocked.
+
+    ``blocked`` holds ``(process, event)`` pairs: each still-alive
+    non-daemon process and the event it was suspended on when the
+    simulation ran out of work.
+    """
+
+    def __init__(self, message: str,
+                 blocked: Iterable[Tuple[Process, Optional[Event]]] = ()):
+        super().__init__(message)
+        self.blocked: List[Tuple[Process, Optional[Event]]] = list(blocked)
+
+
+class WatchdogError(SimulationError):
+    """An :meth:`Environment.watchdog` limit was exceeded.
+
+    ``limit`` is the configured bound and ``observed`` the value that
+    tripped it (events processed, or simulation time in picoseconds).
+    """
+
+    def __init__(self, message: str, limit=None, observed=None):
+        super().__init__(message)
+        self.limit = limit
+        self.observed = observed
+
+
+def describe_wait(event: Optional[Event]) -> str:
+    """One readable line for what ``event`` represents as a wait target.
+
+    Blocking primitives (requests, store/container waits) provide a
+    ``_describe_wait`` hook naming the primitive, its occupancy, its
+    queue depth, and — for resources — who holds it.  Everything else
+    falls back to a generic description.
+    """
+    if event is None:
+        return "nothing (detached — no pending event will resume it)"
+    hook = getattr(event, "_describe_wait", None)
+    if hook is not None:
+        return hook()
+    if isinstance(event, Process):
+        state = "alive" if event.is_alive else "finished"
+        return f"process {event.name!r} ({state})"
+    if isinstance(event, Condition):
+        pending = sum(1 for sub in event.events if not sub.processed)
+        waits = sorted({describe_wait(sub) for sub in event.events
+                        if not sub.processed})
+        inner = f": [{'; '.join(waits)}]" if waits else ""
+        return (f"{type(event).__name__} "
+                f"({pending}/{len(event.events)} sub-events pending{inner})")
+    return repr(event)
+
+
+def format_wait_graph(processes: Iterable[Process]) -> str:
+    """Render the wait-for graph, one ``- name: waiting on ...`` line
+    per process, sorted by process name for deterministic output."""
+    lines = []
+    for proc in sorted(processes, key=lambda p: (p.name or "", id(p))):
+        lines.append(f"  - {proc.name}: waiting on {describe_wait(proc._target)}")
+    return "\n".join(lines)
+
+
+def format_failure_context(env) -> str:
+    """Render ``env.failure_context()`` as a single ``context:`` line
+    (empty string when there is no context to report)."""
+    context = env.failure_context()
+    if not context:
+        return ""
+    parts = [f"{key}={value}" for key, value in context.items()]
+    return "  context: " + ", ".join(parts)

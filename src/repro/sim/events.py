@@ -38,8 +38,12 @@ class Interrupt(Exception):
     """Thrown into a process by :meth:`Process.interrupt`.
 
     The interrupted process may catch it and continue (e.g. a timeout
-    watchdog cancelling a slow I/O path); the event it was waiting on
-    remains pending and can be re-yielded.
+    watchdog cancelling a slow I/O path).  A plain event or timeout it
+    was waiting on remains pending and can be re-yielded; a *queue*
+    wait (``Resource.request``, ``Store.get``/``put``,
+    ``Container.get``/``put``) is withdrawn so capacity can never be
+    granted to the interrupted waiter — re-issue the operation after
+    handling the interrupt.
     """
 
     def __init__(self, cause: Any = None):
@@ -172,15 +176,23 @@ class Process(Event):
     its exception thrown in).
     """
 
-    __slots__ = ("_generator", "_target", "name")
+    __slots__ = ("_generator", "_target", "name", "daemon")
 
-    def __init__(self, env, generator: Generator, name: Optional[str] = None):
+    def __init__(self, env, generator: Generator, name: Optional[str] = None,
+                 daemon: bool = False):
         if not hasattr(generator, "send") or not hasattr(generator, "throw"):
             raise SimulationError(f"process requires a generator, got {generator!r}")
         super().__init__(env)
         self._generator = generator
         self._target: Optional[Event] = None
         self.name = name or getattr(generator, "__name__", "process")
+        #: Daemon processes (perpetual service loops: link receivers,
+        #: switch forwarding, dispatch workers) are expected to outlive
+        #: the workload, so the deadlock detector ignores them.
+        self.daemon = daemon
+        alive = getattr(env, "_alive_processes", None)
+        if alive is not None:
+            alive.add(self)
         Initialize(env, self)
 
     @property
@@ -193,8 +205,12 @@ class Process(Event):
 
         The process resumes immediately (same timestamp, ahead of
         ordinary events) with the exception raised at its current
-        ``yield``.  The event it was waiting on stays valid and may be
-        yielded again after handling the interrupt.
+        ``yield``.  A plain event or timeout it was waiting on stays
+        valid and may be yielded again after handling the interrupt; a
+        queue wait (resource request, store/container get or put) is
+        *withdrawn* — the waiter leaves the queue, and a grant that
+        already landed in this timestep is rolled back — so no capacity
+        can leak to a waiter that is no longer listening.
         """
         if not self.is_alive:
             raise SimulationError(f"cannot interrupt finished {self!r}")
@@ -202,17 +218,30 @@ class Process(Event):
             raise SimulationError("a process cannot interrupt itself")
         # Detach from the current wait so the old event cannot also
         # resume us later.
-        if self._target is not None and self._target.callbacks is not None:
+        target = self._target
+        if target is not None and target.callbacks is not None:
             try:
-                self._target.callbacks.remove(self._resume)
+                target.callbacks.remove(self._resume)
             except ValueError:
                 pass
         self._target = None
+        # Withdraw queue waits (Request / StoreGet / ContainerPut ...):
+        # the waiter leaves the primitive's queue, and an unconsumed
+        # same-timestep grant is released back, conserving capacity.
+        withdraw = getattr(target, "withdraw", None)
+        if withdraw is not None:
+            withdraw()
         trigger = Event(self.env)
         trigger._ok = False
         trigger._value = Interrupt(cause)
         trigger.callbacks.append(self._resume)
         self.env.schedule(trigger, 0, priority=0)  # urgent
+
+    def _deregister(self) -> None:
+        """Drop this process from the environment's alive registry."""
+        alive = getattr(self.env, "_alive_processes", None)
+        if alive is not None:
+            alive.discard(self)
 
     def _resume(self, event: Event) -> None:
         """Advance the generator with the result of ``event``."""
@@ -228,18 +257,21 @@ class Process(Event):
                 env._active_process = None
                 self._ok = True
                 self._value = exc.value
+                self._deregister()
                 env.schedule(self, 0)
                 return
             except StopProcess as exc:
                 env._active_process = None
                 self._ok = True
                 self._value = exc.value
+                self._deregister()
                 env.schedule(self, 0)
                 return
             except BaseException as exc:
                 env._active_process = None
                 self._ok = False
                 self._value = exc
+                self._deregister()
                 env.schedule(self, 0)
                 if not self.callbacks:
                     # Nothing is waiting on this process: surface the error.
@@ -254,6 +286,7 @@ class Process(Event):
                     self._generator.throw(error)
                 except BaseException:
                     pass
+                self._deregister()
                 raise error
 
             if next_event.processed:
@@ -298,6 +331,19 @@ class Condition(Event):
             for index, event in enumerate(self.events)
             if event.triggered and event.processed
         }
+
+    def withdraw(self) -> None:
+        """Withdraw every withdrawable (queue-waiting) sub-event.
+
+        Called when an interrupted process was blocked on this
+        condition: pending resource requests and store/container waits
+        leave their queues; unconsumed same-timestep grants are rolled
+        back.  Plain events and timeouts are left untouched.
+        """
+        for event in self.events:
+            withdraw = getattr(event, "withdraw", None)
+            if withdraw is not None and not event.processed:
+                withdraw()
 
     def _check(self, event: Event) -> None:
         raise NotImplementedError

@@ -54,8 +54,14 @@ class Tracer:
         self.dropped = 0
 
     def record(self, time_ps: int, kind: str, **details) -> None:
-        """Add a record (no-op when disabled; drops oldest-first never —
-        newest records are dropped once capacity is reached, and counted)."""
+        """Add a record.
+
+        No-op when disabled.  When a ``capacity`` is set and the buffer
+        is full, the *newest* record — the one being added — is dropped
+        and counted in :attr:`dropped`; already-captured history is
+        never displaced.  This keeps the trace a faithful prefix of the
+        run, and :meth:`summary` reports how much was lost.
+        """
         if not self.enabled:
             return
         if self.capacity is not None and len(self.records) >= self.capacity:
@@ -83,8 +89,11 @@ class Tracer:
         return matching[-1].time_ps - matching[0].time_ps
 
     def summary(self) -> Dict[str, int]:
-        """Record counts by kind."""
-        return dict(Counter(r.kind for r in self.records))
+        """Record counts by kind, plus ``"dropped"`` — the number of
+        records lost to the capacity bound (0 when nothing was lost)."""
+        counts = dict(Counter(r.kind for r in self.records))
+        counts["dropped"] = self.dropped
+        return counts
 
     def clear(self) -> None:
         self.records.clear()

@@ -69,7 +69,8 @@ class BaseSwitch:
             for _ in range(config.num_ports)
         ]
         for port in range(config.num_ports):
-            env.process(self._transmitter(port), name=f"{name}-tx{port}")
+            env.process(self._transmitter(port), name=f"{name}-tx{port}",
+                        daemon=True)
 
     # ------------------------------------------------------------------
     # Wiring
@@ -82,7 +83,7 @@ class BaseSwitch:
             raise ValueError(f"{self.name}: port {port} already connected")
         self._tx_links[port] = tx_link
         self.env.process(self._reader(port, rx_link),
-                         name=f"{self.name}-rx{port}")
+                         name=f"{self.name}-rx{port}", daemon=True)
 
     def connected_ports(self) -> List[int]:
         """Ports with a link attached."""

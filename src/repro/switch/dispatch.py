@@ -83,7 +83,8 @@ class CpuScheduler:
         self._queues: List[Store] = [Store(env) for _ in cpus]
         self._pending: List[int] = [0] * len(cpus)
         for index, cpu in enumerate(cpus):
-            env.process(self._worker(index, cpu), name=f"dispatch-{cpu.name}")
+            env.process(self._worker(index, cpu), name=f"dispatch-{cpu.name}",
+                        daemon=True)
 
     def _worker(self, index: int, cpu):
         queue = self._queues[index]

@@ -56,14 +56,17 @@ class InputQueuedSwitch:
         self.stats = SwitchStats()
         self._tx_links = [None] * config.num_ports
         self._input_queues = [
-            Store(env, capacity=iq_config.input_queue_packets)
-            for _ in range(config.num_ports)
+            Store(env, capacity=iq_config.input_queue_packets,
+                  name=f"{name}.in{port}")
+            for port in range(config.num_ports)
         ]
         # One grant at a time per output (the crossbar column).
-        self._output_grants = [Resource(env, capacity=1)
-                               for _ in range(config.num_ports)]
+        self._output_grants = [Resource(env, capacity=1,
+                                        name=f"{name}.out{port}")
+                               for port in range(config.num_ports)]
         for port in range(config.num_ports):
-            env.process(self._head_of_line(port), name=f"{name}-hol{port}")
+            env.process(self._head_of_line(port), name=f"{name}-hol{port}",
+                        daemon=True)
 
     # ------------------------------------------------------------------
     # Wiring (same interface as BaseSwitch)
@@ -75,7 +78,7 @@ class InputQueuedSwitch:
             raise ValueError(f"{self.name}: port {port} already connected")
         self._tx_links[port] = tx_link
         self.env.process(self._reader(port, rx_link),
-                         name=f"{self.name}-rx{port}")
+                         name=f"{self.name}-rx{port}", daemon=True)
 
     def _reader(self, port: int, rx_link: Link):
         queue = self._input_queues[port]
@@ -96,11 +99,10 @@ class InputQueuedSwitch:
                 raise RoutingToSwitchError(
                     f"{self.name}: input-queued switch has no active path")
             out_port = self.routing.lookup(packet.dst)
-            grant = self._output_grants[out_port].request()
-            # HOL blocking: this input serves nothing else while its
-            # head waits for the output.
-            yield grant
-            try:
+            with self._output_grants[out_port].request() as grant:
+                # HOL blocking: this input serves nothing else while its
+                # head waits for the output.
+                yield grant
                 yield self.env.timeout(self.config.routing_latency_ps)
                 link = self._tx_links[out_port]
                 if link is None:
@@ -109,8 +111,6 @@ class InputQueuedSwitch:
                         f"{out_port}")
                 yield from link.send(packet)
                 self.stats.forwarded += 1
-            finally:
-                self._output_grants[out_port].release(grant)
 
     def __repr__(self) -> str:
         return (f"<InputQueuedSwitch {self.name}: "

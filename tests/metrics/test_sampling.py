@@ -57,6 +57,38 @@ def test_mean_at_zero_span_returns_value():
     assert signal.mean() == 7.0
 
 
+def test_mean_before_last_change_raises():
+    """History before the last set() is not retained; asking for it
+    must fail loudly rather than integrate a negative open segment."""
+    env = Environment()
+    signal = TimeWeighted(env, initial=2.0)
+
+    def driver(env):
+        yield env.timeout(400)
+        signal.set(5.0)
+        yield env.timeout(100)
+
+    env.process(driver(env))
+    env.run()
+    with pytest.raises(ValueError):
+        signal.mean(until_ps=399)
+    # At exactly the last change it is well defined: 2.0 over [0,400).
+    assert signal.mean(until_ps=400) == pytest.approx(2.0)
+
+
+def test_mean_beyond_now_extrapolates_current_value():
+    env = Environment()
+    signal = TimeWeighted(env, initial=4.0)
+
+    def driver(env):
+        yield env.timeout(100)
+
+    env.process(driver(env))
+    env.run()
+    # 4.0 held for the whole (extended) span.
+    assert signal.mean(until_ps=1000) == pytest.approx(4.0)
+
+
 def test_busy_tracker_utilization():
     env = Environment()
     tracker = BusyTracker(env)

@@ -1,0 +1,185 @@
+"""Context-manager semantics of the blocking primitives."""
+
+import pytest
+
+from repro.sim import (
+    Container,
+    Environment,
+    Interrupt,
+    Resource,
+    SimulationError,
+    Store,
+)
+
+
+# ----------------------------------------------------------------------
+# Resource.request() as a context manager
+# ----------------------------------------------------------------------
+def test_with_request_releases_on_normal_exit():
+    env = Environment()
+    res = Resource(env, capacity=1)
+    order = []
+
+    def worker(env, tag):
+        with res.request() as req:
+            yield req
+            order.append((tag, "in", env.now))
+            yield env.timeout(10)
+        order.append((tag, "out", env.now))
+
+    env.process(worker(env, "a"))
+    env.process(worker(env, "b"))
+    env.run()
+    assert res.count == 0 and len(res.queue) == 0
+    # b entered only after a's with-block released the unit.
+    assert ("a", "in", 0) in order
+    assert ("b", "in", 10) in order
+
+
+def test_with_request_releases_on_exception():
+    env = Environment()
+    res = Resource(env, capacity=1)
+
+    def failing(env):
+        with res.request() as req:
+            yield req
+            raise RuntimeError("boom")
+
+    def patient(env):
+        yield env.timeout(1)
+        with res.request() as req:
+            yield req
+
+    proc = env.process(failing(env))
+    env.process(patient(env), name="patient")
+    with pytest.raises(RuntimeError):
+        env.run()
+    # The failing holder released on the way out; nothing leaked.
+    assert res.count == 0
+    assert not proc.ok
+
+
+def test_with_request_withdraws_a_queued_wait_on_interrupt():
+    env = Environment()
+    res = Resource(env, capacity=1)
+
+    def holder(env):
+        with res.request() as req:
+            yield req
+            yield env.timeout(100)
+
+    def impatient(env):
+        try:
+            with res.request() as req:
+                yield req
+        except Interrupt:
+            pass
+        yield env.timeout(1)
+
+    env.process(holder(env))
+    victim = env.process(impatient(env))
+
+    def interrupter(env):
+        yield env.timeout(10)
+        victim.interrupt("give up")
+
+    env.process(interrupter(env))
+    env.run()
+    # The queued request was withdrawn; the holder finished and
+    # released; capacity is conserved.
+    assert res.count == 0 and len(res.queue) == 0
+
+
+def test_explicit_release_form_still_works():
+    env = Environment()
+    res = Resource(env, capacity=1)
+
+    def worker(env):
+        req = res.request()
+        yield req
+        try:
+            yield env.timeout(5)
+        finally:
+            res.release(req)
+
+    env.process(worker(env))
+    env.run()
+    assert res.count == 0
+
+
+def test_release_of_never_granted_request_still_raises():
+    env = Environment()
+    res = Resource(env, capacity=1)
+    granted = res.request()
+    assert granted.triggered
+    queued = res.request()
+    with pytest.raises(SimulationError):
+        res.release(queued)
+
+
+# ----------------------------------------------------------------------
+# Store / Container waits as context managers
+# ----------------------------------------------------------------------
+def test_store_get_with_block_withdraws_on_exception():
+    env = Environment()
+    store = Store(env, name="box")
+
+    def consumer(env):
+        with store.get() as getter:
+            try:
+                yield getter
+            except Interrupt:
+                pass
+        yield env.timeout(1)
+
+    victim = env.process(consumer(env))
+
+    def interrupter(env):
+        yield env.timeout(5)
+        victim.interrupt()
+
+    env.process(interrupter(env))
+    env.run()
+    assert len(store._getters) == 0  # no zombie waiter left behind
+    store.put("late")
+    assert list(store.items) == ["late"]  # nobody stole it
+
+
+def test_container_get_with_block_is_clean_on_success():
+    env = Environment()
+    pool = Container(env, capacity=10, init=4)
+    taken = []
+
+    def worker(env):
+        with pool.get(3) as getter:
+            yield getter
+            taken.append(pool.level)
+
+    env.process(worker(env))
+    env.run()
+    assert taken == [1]
+    assert pool.level == 1  # consumed normally: no rollback
+
+
+def test_store_put_with_block_withdraws_blocked_put():
+    env = Environment()
+    store = Store(env, capacity=1)
+    store.put("occupant")
+
+    def producer(env):
+        with store.put("extra") as putter:
+            try:
+                yield putter
+            except Interrupt:
+                pass
+
+    victim = env.process(producer(env))
+
+    def interrupter(env):
+        yield env.timeout(5)
+        victim.interrupt()
+
+    env.process(interrupter(env))
+    env.run()
+    assert len(store._putters) == 0
+    assert list(store.items) == ["occupant"]

@@ -1,0 +1,244 @@
+"""Tests for the deadlock detector, watchdog, and failure context."""
+
+import pytest
+
+from repro.sim import (
+    DeadlockError,
+    Environment,
+    Resource,
+    SimulationError,
+    Store,
+    WatchdogError,
+)
+
+
+# ----------------------------------------------------------------------
+# Deadlock detection
+# ----------------------------------------------------------------------
+def test_two_process_lock_inversion_raises_deadlock_error():
+    """The acceptance-criteria scenario: a deliberately-deadlocked pair
+    raises DeadlockError naming both processes and their primitives."""
+    env = Environment()
+    lock_a = Resource(env, name="lock-a")
+    lock_b = Resource(env, name="lock-b")
+
+    def worker(env, first, second):
+        with first.request() as one:
+            yield one
+            yield env.timeout(10)
+            with second.request() as two:
+                yield two
+
+    env.process(worker(env, lock_a, lock_b), name="alice")
+    env.process(worker(env, lock_b, lock_a), name="bob")
+    with pytest.raises(DeadlockError) as excinfo:
+        env.run()
+    message = str(excinfo.value)
+    assert "alice" in message and "bob" in message
+    assert "lock-a" in message and "lock-b" in message
+    # The wait-for graph names the holder of each contended lock.
+    assert "held by" in message
+    # The exception carries the structured (process, event) pairs too.
+    names = sorted(proc.name for proc, _ in excinfo.value.blocked)
+    assert names == ["alice", "bob"]
+
+
+def test_blocked_getter_on_empty_store_is_reported():
+    env = Environment()
+    store = Store(env, name="inbox")
+
+    def consumer(env):
+        yield store.get()
+
+    env.process(consumer(env), name="consumer")
+    with pytest.raises(DeadlockError) as excinfo:
+        env.run()
+    message = str(excinfo.value)
+    assert "consumer" in message
+    assert "Store 'inbox'.get" in message
+
+
+def test_run_until_event_reports_deadlock_instead_of_generic_error():
+    env = Environment()
+    store = Store(env)
+
+    def consumer(env):
+        item = yield store.get()
+        return item
+
+    proc = env.process(consumer(env), name="consumer")
+    with pytest.raises(DeadlockError):
+        env.run(until=proc)
+
+
+def test_deadlock_error_is_a_simulation_error():
+    assert issubclass(DeadlockError, SimulationError)
+    assert issubclass(WatchdogError, SimulationError)
+
+
+def test_daemon_processes_do_not_trigger_deadlock():
+    """Perpetual service loops (marked daemon) may outlive the workload."""
+    env = Environment()
+    store = Store(env)
+    served = []
+
+    def service(env):
+        while True:
+            served.append((yield store.get()))
+
+    def client(env):
+        yield store.put("job")
+        yield env.timeout(5)
+
+    env.process(service(env), name="service", daemon=True)
+    env.process(client(env), name="client")
+    env.run()  # must not raise: only the daemon is still blocked
+    assert served == ["job"]
+
+
+def test_clean_completion_does_not_raise():
+    env = Environment()
+
+    def worker(env):
+        yield env.timeout(10)
+
+    env.process(worker(env))
+    env.run()
+    assert env.now == 10
+
+
+def test_run_until_time_does_not_deadlock_check():
+    """Horizon runs routinely pause mid-wait; no deadlock check there."""
+    env = Environment()
+    store = Store(env)
+
+    def consumer(env):
+        yield store.get()
+
+    env.process(consumer(env), name="consumer")
+    env.run(until=100)  # queue drains, consumer blocked: fine
+    store.put("late")
+    env.run()  # consumer finishes; nothing blocked any more
+
+
+# ----------------------------------------------------------------------
+# Watchdog
+# ----------------------------------------------------------------------
+def test_watchdog_max_events_catches_livelock():
+    env = Environment()
+
+    def ping_pong(env):
+        while True:
+            yield env.timeout(1)
+
+    env.process(ping_pong(env), name="spinner")
+    env.watchdog(max_events=100)
+    with pytest.raises(WatchdogError) as excinfo:
+        env.run()
+    assert "limit 100" in str(excinfo.value)
+    assert "spinner" in str(excinfo.value)
+    assert excinfo.value.limit == 100
+
+
+def test_watchdog_max_time_ps():
+    env = Environment()
+
+    def slow(env):
+        yield env.timeout(10_000)
+
+    env.process(slow(env))
+    env.watchdog(max_time_ps=1_000)
+    with pytest.raises(WatchdogError) as excinfo:
+        env.run()
+    assert excinfo.value.limit == 1_000
+
+
+def test_watchdog_disarm_and_generous_limits():
+    env = Environment()
+
+    def quick(env):
+        yield env.timeout(5)
+
+    env.process(quick(env))
+    env.watchdog(max_events=1)
+    env.watchdog()  # disarm again
+    env.run()
+
+    env2 = Environment()
+    env2.process(quick(env2))
+    env2.watchdog(max_events=1_000_000, max_time_ps=10**12)
+    env2.run()  # generous limits never trip
+    assert env2.now == 5
+
+
+def test_watchdog_validates_limits():
+    env = Environment()
+    with pytest.raises(ValueError):
+        env.watchdog(max_events=0)
+    with pytest.raises(ValueError):
+        env.watchdog(max_time_ps=-5)
+
+
+def test_event_count_advances():
+    env = Environment()
+
+    def worker(env):
+        yield env.timeout(1)
+        yield env.timeout(1)
+
+    env.process(worker(env))
+    env.run()
+    assert env.event_count > 0
+
+
+# ----------------------------------------------------------------------
+# Failure context
+# ----------------------------------------------------------------------
+def test_static_context_appears_in_deadlock_message():
+    env = Environment()
+    env.add_context(app="grep", config="active+pref")
+    store = Store(env)
+
+    def consumer(env):
+        yield store.get()
+
+    env.process(consumer(env), name="consumer")
+    with pytest.raises(DeadlockError) as excinfo:
+        env.run()
+    message = str(excinfo.value)
+    assert "app=grep" in message
+    assert "config=active+pref" in message
+
+
+def test_context_providers_sampled_at_failure_time():
+    env = Environment()
+    progress = {"done": 0}
+    env.add_context_provider(lambda: {"progress": f"{progress['done']} blocks"})
+    store = Store(env)
+
+    def worker(env):
+        yield env.timeout(10)
+        progress["done"] = 7
+        yield store.get()
+
+    env.process(worker(env), name="worker")
+    with pytest.raises(DeadlockError) as excinfo:
+        env.run()
+    # The provider was sampled when the failure was reported, not when
+    # it was registered.
+    assert "7 blocks" in str(excinfo.value)
+
+
+def test_broken_context_provider_never_masks_the_failure():
+    env = Environment()
+    env.add_context_provider(lambda: 1 / 0)
+    env.add_context(app="sort")
+    store = Store(env)
+
+    def consumer(env):
+        yield store.get()
+
+    env.process(consumer(env), name="consumer")
+    with pytest.raises(DeadlockError) as excinfo:
+        env.run()
+    assert "app=sort" in str(excinfo.value)

@@ -52,7 +52,14 @@ def test_summary_counts_by_kind():
     tracer.record(1, "a")
     tracer.record(2, "a")
     tracer.record(3, "b")
-    assert tracer.summary() == {"a": 2, "b": 1}
+    assert tracer.summary() == {"a": 2, "b": 1, "dropped": 0}
+
+
+def test_summary_reports_dropped_records():
+    tracer = Tracer(capacity=2)
+    for i in range(5):
+        tracer.record(i, "k")
+    assert tracer.summary() == {"k": 2, "dropped": 3}
 
 
 def test_clear():

@@ -9,7 +9,7 @@ library's failure semantics.
 import pytest
 
 from repro.net import ActiveHeader, ChannelAdapter, Link, Message
-from repro.sim import Environment
+from repro.sim import DeadlockError, Environment
 from repro.sim.units import us
 from repro.switch import (
     ATBError,
@@ -193,10 +193,10 @@ def test_continuation_packet_without_dispatch_rejected():
         env.run()
 
 
-def test_reads_past_stream_end_stall_forever_not_crash():
+def test_reads_past_stream_end_stall_forever_reported_as_deadlock():
     """A handler waiting for data that never comes parks (deadlock is
-    the simulated hardware's real behaviour), leaving the queue empty
-    rather than crashing."""
+    the simulated hardware's real behaviour) — and the kernel now
+    reports the wedged handler by name instead of draining silently."""
     env = Environment()
     switch, (a, b) = build_fabric(env)
     reached = []
@@ -210,5 +210,7 @@ def test_reads_past_stream_end_stall_forever_not_crash():
 
     switch.register_handler(6, overreader)
     env.process(send_active(a, 6, 0x0, nbytes=512)(env))
-    env.run()
+    with pytest.raises(DeadlockError) as excinfo:
+        env.run()
     assert reached == ["first"]
+    assert "handler" in str(excinfo.value)
