@@ -29,11 +29,20 @@ Quickstart::
 """
 
 from .cluster import ClusterConfig, ReadStream, System, four_cases
+from .faults import (
+    DiskFaults,
+    FaultInjector,
+    FaultPlan,
+    HandlerFaults,
+    LinkFaults,
+    ScsiFaults,
+)
 from .metrics import (
     BenchmarkResult,
     CaseResult,
     breakdown_table,
     performance_table,
+    reliability_table,
 )
 from .sim import Environment
 from .switch import ActiveSwitch, ActiveSwitchConfig, BaseSwitch
@@ -45,10 +54,17 @@ __all__ = [
     "ReadStream",
     "System",
     "four_cases",
+    "DiskFaults",
+    "FaultInjector",
+    "FaultPlan",
+    "HandlerFaults",
+    "LinkFaults",
+    "ScsiFaults",
     "BenchmarkResult",
     "CaseResult",
     "breakdown_table",
     "performance_table",
+    "reliability_table",
     "Environment",
     "ActiveSwitch",
     "ActiveSwitchConfig",

@@ -198,6 +198,9 @@ def finalize_case(system: System, label: str) -> CaseResult:
         switch_cpus=switch_breakdowns,
         host_bytes_in=host.hca.traffic.bytes_in,
         host_bytes_out=host.hca.traffic.bytes_out,
+        # Empty on a perfect fabric, so fault-free results are
+        # byte-identical to the pre-reliability ones.
+        extra=system.reliability_report(),
     )
 
 

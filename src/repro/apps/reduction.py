@@ -208,7 +208,10 @@ def _install_handlers(tree: SwitchTree, mode: str, done_events: Dict,
             for w in range(words):
                 accumulator[w] = (accumulator[w] + incoming[w]) & 0xFFFFFFFF
             yield from ctx.compute(words * SWITCH_ADD_CYCLES_PER_WORD)
-            yield from ctx.deallocate(ctx.address + region_stride)
+            # Range-exact: a retransmission-delayed sibling may stage a
+            # *lower* slot after this one — deallocate() would free it.
+            yield from ctx.deallocate_range(ctx.address,
+                                            ctx.address + region_stride)
             switch.kernel_state["count"] += 1
             if switch.kernel_state["count"] < switch.kernel_state["expected"]:
                 return
@@ -243,7 +246,8 @@ def _install_handlers(tree: SwitchTree, mode: str, done_events: Dict,
         def broadcast_handler(ctx, node=node):
             # Receive the final vector from the parent and fan out.
             yield from ctx.read(ctx.address, vector_bytes)
-            yield from ctx.deallocate(ctx.address + region_stride)
+            yield from ctx.deallocate_range(ctx.address,
+                                            ctx.address + region_stride)
             yield from _broadcast_down(ctx, node, ctx.arg)
 
         def _broadcast_down(ctx, node, vector):

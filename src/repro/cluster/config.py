@@ -16,7 +16,9 @@ active+pref   active=True,  prefetch_depth=2
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
+from typing import Optional
 
+from ..faults.plan import FaultPlan
 from ..io.disk import DiskConfig
 from ..io.os_model import OsCostConfig
 from ..io.scsi import ScsiConfig
@@ -56,6 +58,13 @@ class ClusterConfig:
     #: arriving (the paper's design).  False = store-and-forward
     #: handlers that wait for the whole block (ablation knob).
     cut_through: bool = True
+    #: Master seed: every pseudo-random decision in a run (currently the
+    #: fault schedules) derives from it, so identical seeds reproduce
+    #: identical runs bit for bit.
+    seed: int = 0
+    #: Fault-injection plan; ``None`` (the default) builds a perfect
+    #: fabric along the exact pre-reliability code paths.
+    faults: Optional[FaultPlan] = None
 
     link: LinkConfig = field(default_factory=LinkConfig)
     switch: SwitchConfig = field(default_factory=SwitchConfig)

@@ -63,6 +63,11 @@ class StorageNode:
         self.disks = DiskArray(env, f"{name}-disks",
                                num_disks=config.num_disks, config=config.disk)
 
+    def attach_faults(self, injector) -> None:
+        """Subject this node's bus and spindles to ``injector``'s plan."""
+        self.scsi.attach_faults(injector)
+        self.disks.attach_faults(injector)
+
     def serve_read(self, offset: int, nbytes: int, started=None):
         """Read ``nbytes`` sequentially and push them onto the SAN.
 

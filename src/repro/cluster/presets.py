@@ -7,7 +7,10 @@ individual technologies to support sensitivity studies:
 * ``fast_storage`` — 8x disks (early-NVMe-class 800 MB/s streams);
 * ``fast_switch_cpu`` — embedded core at host parity (2 GHz);
 * ``balanced_2006`` — a plausible three-years-later system: 2x disks,
-  2x links, 1 GHz switch core.
+  2x links, 1 GHz switch core;
+* ``chaos_2003`` — the paper testbed on an imperfect fabric: lossy
+  links, transient disk errors, occasionally crashing handlers.  Pass a
+  ``seed`` to pick (and exactly reproduce) one fault schedule.
 
 Presets return fresh :class:`ClusterConfig` values; override fields
 with :func:`dataclasses.replace` as usual.
@@ -18,6 +21,8 @@ from __future__ import annotations
 from dataclasses import replace
 from typing import Callable, Dict
 
+from ..faults.plan import (DiskFaults, FaultPlan, HandlerFaults, LinkFaults,
+                           ScsiFaults)
 from ..io.disk import DiskConfig
 from ..net.link import LinkConfig
 from ..switch.active import ActiveSwitchConfig
@@ -64,12 +69,34 @@ def balanced_2006(**overrides) -> ClusterConfig:
     return replace(base, **overrides) if overrides else base
 
 
+def chaos_2003(seed: int = 0, **overrides) -> ClusterConfig:
+    """The paper testbed under a deterministic storm of faults.
+
+    Per-packet link loss and bit errors, transient disk read errors,
+    SCSI parity errors, and a low handler crash rate — every schedule a
+    pure function of ``seed``.  The recovery machinery (retransmission,
+    retries, quarantine + cut-through fallback) keeps results correct;
+    the run report shows what it cost.
+    """
+    base = ClusterConfig(
+        seed=seed,
+        faults=FaultPlan(
+            link=LinkFaults(drop_rate=0.01, bit_error_rate=0.005),
+            disk=DiskFaults(read_error_rate=0.02, write_error_rate=0.01),
+            scsi=ScsiFaults(error_rate=0.005),
+            handler=HandlerFaults(crash_rate=0.002),
+        ),
+    )
+    return replace(base, **overrides) if overrides else base
+
+
 PRESETS: Dict[str, Callable[..., ClusterConfig]] = {
     "paper_2003": paper_2003,
     "fast_fabric": fast_fabric,
     "fast_storage": fast_storage,
     "fast_switch_cpu": fast_switch_cpu,
     "balanced_2006": balanced_2006,
+    "chaos_2003": chaos_2003,
 }
 
 

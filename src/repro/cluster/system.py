@@ -49,6 +49,16 @@ class System:
         else:
             self.switch = BaseSwitch(self.env, "sw0", switch_config)
 
+        #: Deterministic fault scheduler; None on a perfect fabric, in
+        #: which case no component ever consults the fault machinery.
+        self.injector = None
+        if config.faults is not None and config.faults.enabled:
+            from ..faults import FaultInjector
+            self.injector = FaultInjector(config.faults, seed=config.seed)
+            self.env.add_context_provider(self.injector.failure_context)
+            if config.active:
+                self.switch.attach_faults(self.injector)
+
         self.hosts: List[ComputeNode] = []
         self.storage_nodes: List[StorageNode] = []
         self._links: Dict[str, tuple] = {}
@@ -62,6 +72,8 @@ class System:
         for i in range(config.num_storage):
             node = StorageNode(self.env, f"storage{i}", config)
             self._attach(node.tca, node.name, port)
+            if self.injector is not None:
+                node.attach_faults(self.injector)
             self.storage_nodes.append(node)
             port += 1
 
@@ -78,6 +90,9 @@ class System:
     def _attach(self, adapter, name: str, port: int) -> None:
         to_switch = Link(self.env, f"{name}->sw0", self.config.link)
         from_switch = Link(self.env, f"sw0->{name}", self.config.link)
+        if self.injector is not None:
+            to_switch.attach_faults(self.injector)
+            from_switch.attach_faults(self.injector)
         adapter.attach(tx_link=to_switch, rx_link=from_switch)
         self.switch.connect(port, tx_link=from_switch, rx_link=to_switch)
         self.switch.routing.add(name, port)
@@ -96,6 +111,50 @@ class System:
     def links_for(self, name: str):
         """(to_switch, from_switch) link pair of node ``name``."""
         return self._links[name]
+
+    # ------------------------------------------------------------------
+    # Reliability reporting
+    # ------------------------------------------------------------------
+    def reliability_report(self) -> Dict[str, float]:
+        """Fault/recovery metrics for the run report.
+
+        Empty on a perfect fabric (the default), so fault-free results
+        carry exactly the pre-reliability metrics; under a fault plan it
+        aggregates what was injected and what the recovery machinery
+        did: retransmits, retries, drops/corruptions, crash containment,
+        and time spent in degraded (quarantined-handler) mode.
+        """
+        if self.injector is None:
+            return {}
+        report: Dict[str, float] = {}
+        retransmits = dropped = corrupted = 0
+        for to_switch, from_switch in self._links.values():
+            for link in (to_switch, from_switch):
+                retransmits += link.stats.retransmits
+                dropped += link.stats.packets_dropped
+                corrupted += link.stats.packets_corrupted
+        report["link_retransmits"] = float(retransmits)
+        report["link_packets_dropped"] = float(dropped)
+        report["link_packets_corrupted"] = float(corrupted)
+        report["disk_transient_errors"] = float(
+            sum(node.disks.transient_errors for node in self.storage_nodes))
+        report["disk_retries"] = float(
+            sum(node.disks.retries for node in self.storage_nodes))
+        report["scsi_parity_errors"] = float(
+            sum(node.scsi.stats.parity_errors for node in self.storage_nodes))
+        report["scsi_retries"] = float(
+            sum(node.scsi.stats.retries for node in self.storage_nodes))
+        if isinstance(self.switch, ActiveSwitch):
+            degradation = self.switch.degradation
+            report["handler_contained_crashes"] = float(
+                degradation.contained_crashes)
+            report["handler_quarantined"] = float(
+                degradation.quarantined_handlers)
+            report["atb_corruptions"] = float(degradation.atb_corruptions)
+            report["fallback_messages"] = float(degradation.fallback_messages)
+            report["degraded_time_ps"] = float(self.switch.degraded_time_ps())
+        report.update(self.injector.snapshot())
+        return report
 
     # ------------------------------------------------------------------
     # Fixed path latencies (block path)

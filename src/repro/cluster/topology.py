@@ -61,6 +61,7 @@ class SwitchTree:
         hca_config: Optional[HcaConfig] = None,
         link_config: LinkConfig = LinkConfig(),
         active_config: ActiveSwitchConfig = ActiveSwitchConfig(),
+        injector=None,
     ):
         if num_hosts < 1:
             raise ValueError("need at least one host")
@@ -70,6 +71,9 @@ class SwitchTree:
         self.num_hosts = num_hosts
         self.hosts_per_leaf = hosts_per_leaf
         self.link_config = link_config
+        #: Optional FaultInjector; every link and switch in the tree is
+        #: subjected to its plan.  None builds a perfect fabric.
+        self.injector = injector
         self._switch_count = 0
         cluster_config = cluster_config or ClusterConfig()
         hca_config = hca_config or cluster_config.hca
@@ -88,9 +92,10 @@ class SwitchTree:
         def new_switch(level: int) -> TreeSwitch:
             name = f"sw-l{level}-{self._switch_count}"
             self._switch_count += 1
-            return TreeSwitch(
-                switch=ActiveSwitch(env, name, switch_config, active_config),
-                level=level)
+            switch = ActiveSwitch(env, name, switch_config, active_config)
+            if self.injector is not None:
+                switch.attach_faults(self.injector)
+            return TreeSwitch(switch=switch, level=level)
 
         self.levels: List[List[TreeSwitch]] = []
         leaves: List[TreeSwitch] = []
@@ -130,6 +135,9 @@ class SwitchTree:
                          self.link_config)
         from_switch = Link(self.env, f"{leaf.name}->{host.name}",
                            self.link_config)
+        if self.injector is not None:
+            to_switch.attach_faults(self.injector)
+            from_switch.attach_faults(self.injector)
         host.hca.attach(tx_link=to_switch, rx_link=from_switch)
         leaf.switch.connect(port, tx_link=from_switch, rx_link=to_switch)
         leaf.switch.routing.add(host.name, port)
@@ -141,6 +149,9 @@ class SwitchTree:
         child_uplink_port = parent.switch.config.num_ports - 1
         up = Link(self.env, f"{child.name}->{parent.name}", self.link_config)
         down = Link(self.env, f"{parent.name}->{child.name}", self.link_config)
+        if self.injector is not None:
+            up.attach_faults(self.injector)
+            down.attach_faults(self.injector)
         parent.switch.connect(port, tx_link=down, rx_link=up)
         child.switch.connect(child_uplink_port, tx_link=up, rx_link=down)
         parent.switch.routing.add(child.name, port)

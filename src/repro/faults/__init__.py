@@ -1,0 +1,23 @@
+"""Deterministic fault injection for the simulated SAN.
+
+Declare *what can fail* with a frozen :class:`FaultPlan`, then let a
+seeded :class:`FaultInjector` decide *when* — per-component pseudo-random
+streams make every schedule reproducible bit for bit from a single seed.
+The recovery mechanisms live with the components they protect (links
+retransmit, disks retry, the active switch quarantines crashing handlers
+and falls back to cut-through forwarding); this package only decides and
+accounts.
+"""
+
+from .injector import FaultInjector, HandlerCrashError
+from .plan import DiskFaults, FaultPlan, HandlerFaults, LinkFaults, ScsiFaults
+
+__all__ = [
+    "DiskFaults",
+    "FaultInjector",
+    "FaultPlan",
+    "HandlerCrashError",
+    "HandlerFaults",
+    "LinkFaults",
+    "ScsiFaults",
+]

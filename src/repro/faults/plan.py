@@ -1,0 +1,174 @@
+"""Declarative fault plans for the simulated SAN.
+
+A :class:`FaultPlan` describes *what can go wrong* in one run: per-packet
+link drops and bit errors, transient disk and SCSI-bus errors, and
+switch-handler crashes / ATB parity corruption.  The plan is pure data —
+frozen, hashable, reusable across runs.  Pair it with a seed (usually
+``ClusterConfig.seed``) inside a :class:`~repro.faults.FaultInjector` to
+get a concrete, deterministic fault *schedule*: the same plan and seed
+always fault the same packets, requests, and invocations, so a chaotic
+run is exactly reproducible bit for bit.
+
+Every rate defaults to zero and every plan knob is additive: a default
+``FaultPlan()`` injects nothing, and a ``ClusterConfig`` without a plan
+never touches the fault machinery at all — the fault-free datapaths are
+the exact pre-existing code paths.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+from ..sim.units import us
+
+
+def _check_rate(name: str, value: float) -> None:
+    if not 0.0 <= value <= 1.0:
+        raise ValueError(f"{name} must be within [0, 1], got {value}")
+
+
+@dataclass(frozen=True)
+class LinkFaults:
+    """Per-packet wire faults and the link-layer recovery policy.
+
+    Every serialized packet independently draws one outcome:
+    ``drop`` (the packet vanishes in the fabric; the sender recovers via
+    an ACK timeout with exponential backoff), ``corrupt`` (delivered
+    with a CRC violation; the receiving port discards it and NACKs, and
+    the sender retransmits immediately), or ``ok``.
+    """
+
+    drop_rate: float = 0.0
+    bit_error_rate: float = 0.0
+    #: First ACK-timeout window; attempt ``k`` waits
+    #: ``ack_timeout_ps * backoff_factor**k`` before retransmitting.
+    ack_timeout_ps: int = us(5)
+    backoff_factor: float = 2.0
+    #: Retransmissions allowed per packet before the link gives up.
+    max_retries: int = 8
+    #: Deterministic fault script (mainly for tests): serialization
+    #: attempt indices, per link, forced to drop / corrupt regardless of
+    #: the rates.
+    drop_attempts: Tuple[int, ...] = ()
+    corrupt_attempts: Tuple[int, ...] = ()
+
+    def __post_init__(self):
+        _check_rate("drop_rate", self.drop_rate)
+        _check_rate("bit_error_rate", self.bit_error_rate)
+        if self.drop_rate + self.bit_error_rate > 1.0:
+            raise ValueError("drop_rate + bit_error_rate cannot exceed 1")
+        if self.ack_timeout_ps <= 0:
+            raise ValueError("ack_timeout_ps must be positive")
+        if self.backoff_factor < 1.0:
+            raise ValueError("backoff_factor must be >= 1")
+        if self.max_retries < 0:
+            raise ValueError("max_retries cannot be negative")
+
+    @property
+    def enabled(self) -> bool:
+        return (self.drop_rate > 0 or self.bit_error_rate > 0
+                or bool(self.drop_attempts) or bool(self.corrupt_attempts))
+
+
+@dataclass(frozen=True)
+class DiskFaults:
+    """Transient (recoverable-by-retry) media errors.
+
+    A failing request pays positioning plus roughly half the transfer
+    before the error is detected, then the firmware re-positions and
+    retries after an exponentially backed-off recalibration delay.
+    """
+
+    read_error_rate: float = 0.0
+    write_error_rate: float = 0.0
+    #: Firmware recovery delay before retry ``k`` (scaled by ``2**k``).
+    retry_backoff_ps: int = us(500)
+    max_retries: int = 4
+    #: Deterministic request indices, per spindle, forced to error.
+    error_requests: Tuple[int, ...] = ()
+
+    def __post_init__(self):
+        _check_rate("read_error_rate", self.read_error_rate)
+        _check_rate("write_error_rate", self.write_error_rate)
+        if self.retry_backoff_ps <= 0:
+            raise ValueError("retry_backoff_ps must be positive")
+        if self.max_retries < 0:
+            raise ValueError("max_retries cannot be negative")
+
+    @property
+    def enabled(self) -> bool:
+        return (self.read_error_rate > 0 or self.write_error_rate > 0
+                or bool(self.error_requests))
+
+
+@dataclass(frozen=True)
+class ScsiFaults:
+    """Transient bus (parity/arbitration) errors, retried per transaction."""
+
+    error_rate: float = 0.0
+    max_retries: int = 4
+
+    def __post_init__(self):
+        _check_rate("error_rate", self.error_rate)
+        if self.max_retries < 0:
+            raise ValueError("max_retries cannot be negative")
+
+    @property
+    def enabled(self) -> bool:
+        return self.error_rate > 0
+
+
+@dataclass(frozen=True)
+class HandlerFaults:
+    """Switch-handler crashes and ATB parity corruption.
+
+    ``crash_invocations`` schedules deterministic crashes as
+    ``(handler_id, invocation_index)`` pairs (0-based, counted per
+    switch per handler); ``crash_rate`` draws additional crashes at
+    random.  An injected crash fires at the handler's first suspension
+    point, i.e. mid-flight with its stream buffers mapped.  A handler
+    that has crashed ``quarantine_threshold`` times is quarantined: its
+    registered flush hook drains any partial state, and subsequent
+    traffic falls back to normal cut-through forwarding toward the
+    message's ``fallback_dst``.
+    """
+
+    crash_rate: float = 0.0
+    crash_invocations: Tuple[Tuple[int, int], ...] = ()
+    atb_corruption_rate: float = 0.0
+    quarantine_threshold: int = 2
+
+    def __post_init__(self):
+        _check_rate("crash_rate", self.crash_rate)
+        _check_rate("atb_corruption_rate", self.atb_corruption_rate)
+        if self.quarantine_threshold < 1:
+            raise ValueError("quarantine_threshold must be >= 1")
+        for pair in self.crash_invocations:
+            handler_id, invocation = pair
+            if handler_id < 0 or invocation < 0:
+                raise ValueError(f"invalid crash schedule entry {pair}")
+
+    @property
+    def enabled(self) -> bool:
+        return (self.crash_rate > 0 or self.atb_corruption_rate > 0
+                or bool(self.crash_invocations))
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """Everything that may be injected into one simulated run."""
+
+    link: LinkFaults = field(default_factory=LinkFaults)
+    disk: DiskFaults = field(default_factory=DiskFaults)
+    scsi: ScsiFaults = field(default_factory=ScsiFaults)
+    handler: HandlerFaults = field(default_factory=HandlerFaults)
+    #: Optional seed override; ``None`` defers to the cluster seed so a
+    #: single ``ClusterConfig.seed`` reproduces the whole run.
+    seed: Optional[int] = None
+
+    @property
+    def enabled(self) -> bool:
+        """True when any component can actually fault."""
+        return (self.link.enabled or self.disk.enabled
+                or self.scsi.enabled or self.handler.enabled)

@@ -1,19 +1,21 @@
 """I/O subsystem: disks, SCSI bus, target adapter, OS cost model."""
 
-from .disk import Disk, DiskArray, DiskConfig, DiskStats
+from .disk import Disk, DiskArray, DiskConfig, DiskError, DiskStats
 from .os_model import OsCostConfig, OsCostModel
-from .scsi import ScsiBus, ScsiConfig, ScsiStats
+from .scsi import ScsiBus, ScsiConfig, ScsiError, ScsiStats
 from .tca import TCA, TcaConfig
 
 __all__ = [
     "Disk",
     "DiskArray",
     "DiskConfig",
+    "DiskError",
     "DiskStats",
     "OsCostConfig",
     "OsCostModel",
     "ScsiBus",
     "ScsiConfig",
+    "ScsiError",
     "ScsiStats",
     "TCA",
     "TcaConfig",

@@ -22,6 +22,10 @@ from ..sim.resources import Resource
 from ..sim.units import SEC, ms, transfer_ps
 
 
+class DiskError(Exception):
+    """A request kept failing after the firmware's bounded retries."""
+
+
 @dataclass(frozen=True)
 class DiskConfig:
     """One spindle's timing parameters."""
@@ -52,6 +56,11 @@ class DiskStats:
     bytes_written: int = 0
     positioning_ps: int = 0
     transfer_ps_total: int = 0
+    #: Injected transient media errors observed by this spindle.
+    transient_errors: int = 0
+    #: Firmware retry attempts actually issued (≤ transient_errors; an
+    #: exhausted request errors without a matching retry).
+    retries: int = 0
 
 
 class Disk:
@@ -66,18 +75,82 @@ class Disk:
         self.arm = Resource(env, capacity=1, name=f"{name}.arm")
         self.busy = BusyTracker(env)
         self._head_position = -1  # byte offset after the last transfer
+        self._injector = None
         env.add_context_provider(self._failure_context)
 
     def _failure_context(self) -> dict:
         return {f"disk:{self.name}": (
             f"{self.stats.requests} reqs, "
+            f"{self.stats.transient_errors} transient errors, "
             f"{'busy' if self.busy.busy else 'idle'}, "
             f"{len(self.arm.queue)} queued on arm")}
+
+    def attach_faults(self, injector) -> None:
+        """Subject this spindle to ``injector``'s fault plan."""
+        self._injector = injector
 
     def position_head(self, offset: int) -> None:
         """Pre-position the head (models OS read-ahead having already
         seeked, or a file contiguous with prior activity)."""
         self._head_position = offset
+
+    def _access(self, offset: int, nbytes: int, write: bool, started):
+        """Shared read/write mechanics with bounded transient-error retries.
+
+        Without an attached fault plan the control flow (and therefore
+        the timing) is exactly the pre-reliability position-then-stream
+        sequence.  An injected transient error surfaces mid-transfer
+        (roughly half the data has moved before the bad sector); the
+        firmware recalibrates — an exponentially backed-off delay that
+        also invalidates the head position, so the retry pays
+        positioning again — and replays the request, up to
+        ``max_retries`` times before raising :class:`DiskError`.
+        """
+        with self.arm.request() as grant:
+            yield grant
+            self.busy.enter()
+            try:
+                self.stats.requests += 1
+                attempt = 0
+                while True:
+                    if offset == self._head_position:
+                        self.stats.sequential_requests += 1
+                    else:
+                        positioning = (self.config.seek_ps
+                                       + self.config.half_rotation_ps)
+                        self.stats.positioning_ps += positioning
+                        yield self.env.timeout(positioning)
+                    if started is not None and not started.triggered:
+                        started.succeed()
+                    transfer = transfer_ps(nbytes,
+                                           self.config.bandwidth_bytes_per_s)
+                    faulted = (self._injector is not None
+                               and self._injector.plan.disk.enabled
+                               and self._injector.disk_error(self.name, write))
+                    if not faulted:
+                        self.stats.transfer_ps_total += transfer
+                        if write:
+                            self.stats.bytes_written += nbytes
+                        else:
+                            self.stats.bytes_read += nbytes
+                        yield self.env.timeout(transfer)
+                        self._head_position = offset + nbytes
+                        return
+                    self.stats.transient_errors += 1
+                    yield self.env.timeout(transfer // 2)
+                    self._head_position = -1
+                    faults = self._injector.plan.disk
+                    if attempt >= faults.max_retries:
+                        raise DiskError(
+                            f"{self.name}: {'write' if write else 'read'} of "
+                            f"{nbytes} B at {offset} failed after "
+                            f"{faults.max_retries} retries")
+                    self.stats.retries += 1
+                    yield self.env.timeout(
+                        faults.retry_backoff_ps * (2 ** attempt))
+                    attempt += 1
+            finally:
+                self.busy.exit()
 
     def read(self, offset: int, nbytes: int, started=None):
         """Read ``nbytes`` at ``offset``; generator completes when the
@@ -89,54 +162,14 @@ class Disk:
         """
         if nbytes <= 0:
             raise ValueError(f"read size must be positive, got {nbytes}")
-        with self.arm.request() as grant:
-            yield grant
-            self.busy.enter()
-            try:
-                self.stats.requests += 1
-                sequential = offset == self._head_position
-                if sequential:
-                    self.stats.sequential_requests += 1
-                else:
-                    positioning = self.config.seek_ps + self.config.half_rotation_ps
-                    self.stats.positioning_ps += positioning
-                    yield self.env.timeout(positioning)
-                if started is not None and not started.triggered:
-                    started.succeed()
-                transfer = transfer_ps(nbytes, self.config.bandwidth_bytes_per_s)
-                self.stats.transfer_ps_total += transfer
-                self.stats.bytes_read += nbytes
-                yield self.env.timeout(transfer)
-                self._head_position = offset + nbytes
-            finally:
-                self.busy.exit()
+        yield from self._access(offset, nbytes, write=False, started=started)
 
     def write(self, offset: int, nbytes: int, started=None):
         """Write ``nbytes`` at ``offset``; same mechanics as read (the
         paper's disk model is symmetric: position, then stream)."""
         if nbytes <= 0:
             raise ValueError(f"write size must be positive, got {nbytes}")
-        with self.arm.request() as grant:
-            yield grant
-            self.busy.enter()
-            try:
-                self.stats.requests += 1
-                sequential = offset == self._head_position
-                if sequential:
-                    self.stats.sequential_requests += 1
-                else:
-                    positioning = self.config.seek_ps + self.config.half_rotation_ps
-                    self.stats.positioning_ps += positioning
-                    yield self.env.timeout(positioning)
-                if started is not None and not started.triggered:
-                    started.succeed()
-                transfer = transfer_ps(nbytes, self.config.bandwidth_bytes_per_s)
-                self.stats.transfer_ps_total += transfer
-                self.stats.bytes_written += nbytes
-                yield self.env.timeout(transfer)
-                self._head_position = offset + nbytes
-            finally:
-                self.busy.exit()
+        yield from self._access(offset, nbytes, write=True, started=started)
 
     def __repr__(self) -> str:
         return f"<Disk {self.name}: {self.stats.bytes_read} B read>"
@@ -158,6 +191,19 @@ class DiskArray:
         self.name = name
         self.config = config
         self.disks = [Disk(env, f"{name}-{i}", config) for i in range(num_disks)]
+
+    def attach_faults(self, injector) -> None:
+        """Subject every spindle to ``injector``'s fault plan."""
+        for disk in self.disks:
+            disk.attach_faults(injector)
+
+    @property
+    def transient_errors(self) -> int:
+        return sum(d.stats.transient_errors for d in self.disks)
+
+    @property
+    def retries(self) -> int:
+        return sum(d.stats.retries for d in self.disks)
 
     @property
     def aggregate_bandwidth(self) -> float:

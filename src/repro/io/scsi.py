@@ -15,6 +15,10 @@ from ..sim.resources import Resource
 from ..sim.units import transfer_ps, us
 
 
+class ScsiError(Exception):
+    """A bus transaction kept failing parity after bounded retries."""
+
+
 @dataclass(frozen=True)
 class ScsiConfig:
     """Ultra-320 bus parameters."""
@@ -39,6 +43,10 @@ class ScsiStats:
     transactions: int = 0
     bytes: int = 0
     busy_ps: int = 0
+    #: Injected parity/arbitration errors; each wasted one full
+    #: transaction's worth of bus time before the replay.
+    parity_errors: int = 0
+    retries: int = 0
 
 
 class ScsiBus:
@@ -51,25 +59,55 @@ class ScsiBus:
         self.config = config
         self.stats = ScsiStats()
         self._bus = Resource(env, capacity=1, name=f"{name}.bus")
+        self._injector = None
         env.add_context_provider(self._failure_context)
+
+    def attach_faults(self, injector) -> None:
+        """Subject this bus to ``injector``'s fault plan."""
+        self._injector = injector
 
     def _failure_context(self) -> dict:
         return {f"scsi:{self.name}": (
             f"{self.stats.transactions} transactions, "
+            f"{self.stats.parity_errors} parity errors, "
             f"{len(self._bus.queue)} queued on bus")}
 
     def transaction(self, nbytes: int):
-        """One bus transaction moving ``nbytes``."""
+        """One bus transaction moving ``nbytes``.
+
+        An injected parity error is detected at the end of the data
+        phase, so it wastes the whole transaction's bus time before the
+        initiator replays it — up to ``max_retries`` times, after which
+        :class:`ScsiError` surfaces to the caller.
+        """
         if nbytes < 0:
             raise ValueError(f"negative transaction size {nbytes}")
         with self._bus.request() as grant:
             yield grant
-            duration = (self.config.transaction_overhead_ps
-                        + transfer_ps(nbytes, self.config.bandwidth_bytes_per_s))
-            self.stats.transactions += 1
-            self.stats.bytes += nbytes
-            self.stats.busy_ps += duration
-            yield self.env.timeout(duration)
+            attempt = 0
+            while True:
+                duration = (self.config.transaction_overhead_ps
+                            + transfer_ps(nbytes,
+                                          self.config.bandwidth_bytes_per_s))
+                faulted = (self._injector is not None
+                           and self._injector.plan.scsi.enabled
+                           and self._injector.scsi_error(self.name))
+                if not faulted:
+                    self.stats.transactions += 1
+                    self.stats.bytes += nbytes
+                    self.stats.busy_ps += duration
+                    yield self.env.timeout(duration)
+                    return
+                self.stats.parity_errors += 1
+                self.stats.busy_ps += duration
+                yield self.env.timeout(duration)
+                faults = self._injector.plan.scsi
+                if attempt >= faults.max_retries:
+                    raise ScsiError(
+                        f"{self.name}: transaction of {nbytes} B failed "
+                        f"parity after {faults.max_retries} retries")
+                self.stats.retries += 1
+                attempt += 1
 
     def occupancy_ps(self, nbytes: int) -> int:
         """Analytic cost of one transaction (no contention)."""

@@ -4,6 +4,12 @@ The TCA bridges the SCSI bus to the SAN: it accepts read/write requests
 from the fabric, drives the disks over SCSI, and streams the data back
 as MTU packets.  Unlike the HCA it has no host CPU to charge — its
 per-request processing is fixed firmware time.
+
+Reliability: the TCA inherits the adapter's ACK/NACK retransmission
+behaviour (its tx link retransmits dropped/corrupted data packets with
+timeout + exponential backoff), and it reports request progress to the
+kernel's failure diagnostics so a chaotic run that wedges mid-stream
+shows how far the storage side got.
 """
 
 from __future__ import annotations
@@ -39,7 +45,16 @@ class TCA(ChannelAdapter):
                          HcaConfig(send_overhead_ps=0, recv_poll_ps=0,
                                    per_packet_ps=config.per_packet_ps))
         self.tca_config = config
+        self.requests_processed = 0
+        env.add_context_provider(self._failure_context)
+
+    def _failure_context(self) -> dict:
+        status = {"requests": self.requests_processed}
+        status.update({key: value for key, value in self.reliability().items()
+                       if value})
+        return {f"tca:{self.node_id}": str(status)}
 
     def process_request(self):
         """Firmware time to accept and decode one I/O request."""
         yield self.env.timeout(self.tca_config.request_processing_ps)
+        self.requests_processed += 1

@@ -6,6 +6,7 @@ from .report import (
     comparison_table,
     performance_bars,
     performance_table,
+    reliability_table,
     render_table,
 )
 from .export import benchmark_result_rows, benchmark_result_to_csv, rows_to_csv
@@ -25,5 +26,6 @@ __all__ = [
     "comparison_table",
     "performance_bars",
     "performance_table",
+    "reliability_table",
     "render_table",
 ]

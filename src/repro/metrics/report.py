@@ -73,6 +73,33 @@ def breakdown_table(result: BenchmarkResult) -> str:
             + render_table(["cpu", "busy", "cache stall", "idle"], rows))
 
 
+def reliability_table(result: BenchmarkResult) -> str:
+    """Fault/recovery metrics per configuration (chaos runs).
+
+    Renders every ``CaseResult.extra`` key observed across the cases —
+    retransmits, disk/SCSI retries, contained handler crashes, degraded
+    time — one column per case.  Empty string on fault-free results.
+    """
+    labels = [label for label in CASE_ORDER if label in result.cases]
+    labels += [label for label in result.cases if label not in labels]
+    keys: List[str] = []
+    for label in labels:
+        for key in result.cases[label].extra:
+            if key not in keys:
+                keys.append(key)
+    if not keys:
+        return ""
+    rows = []
+    for key in keys:
+        row = [key]
+        for label in labels:
+            value = result.cases[label].extra.get(key)
+            row.append("-" if value is None else f"{value:g}")
+        rows.append(row)
+    return (f"{result.name}: reliability (faults injected / recovered)\n"
+            + render_table(["metric"] + labels, rows))
+
+
 def comparison_table(name: str,
                      rows: Iterable[Tuple[str, float, Optional[float]]]) -> str:
     """Paper-vs-measured comparison (for EXPERIMENTS.md)."""

@@ -1,7 +1,7 @@
 """System-area network: packets, links, routing, channel adapters."""
 
-from .hca import HCA, ChannelAdapter, HcaConfig, TrafficStats
-from .link import DuplexLink, Link, LinkConfig, LinkStats
+from .hca import AdapterSendError, HCA, ChannelAdapter, HcaConfig, TrafficStats
+from .link import DuplexLink, Link, LinkConfig, LinkStats, LinkTransmissionError
 from .packet import (
     HEADER_BYTES,
     MAX_ADDRESS,
@@ -14,6 +14,7 @@ from .packet import (
 from .routing import RoutingError, RoutingTable
 
 __all__ = [
+    "AdapterSendError",
     "HCA",
     "ChannelAdapter",
     "HcaConfig",
@@ -22,6 +23,7 @@ __all__ = [
     "Link",
     "LinkConfig",
     "LinkStats",
+    "LinkTransmissionError",
     "HEADER_BYTES",
     "MAX_ADDRESS",
     "MAX_HANDLER_ID",

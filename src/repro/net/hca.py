@@ -19,8 +19,12 @@ from typing import Dict, Optional
 from ..sim.core import Environment
 from ..sim.resources import Store
 from ..sim.units import us
-from .link import Link
+from .link import Link, LinkTransmissionError
 from .packet import ActiveHeader, Message, Packet
+
+
+class AdapterSendError(Exception):
+    """A message could not be delivered even after link-level retries."""
 
 
 @dataclass(frozen=True)
@@ -58,6 +62,8 @@ class TrafficStats:
     bytes_out: int = 0
     messages_in: int = 0
     messages_out: int = 0
+    #: Messages abandoned after the link exhausted its retransmissions.
+    send_failures: int = 0
 
     @property
     def total_bytes(self) -> int:
@@ -76,6 +82,7 @@ class ChannelAdapter:
         #: Reassembled inbound messages awaiting the consumer.
         self.recv_queue: Store = Store(env)
         self._tx_link: Optional[Link] = None
+        self._rx_link: Optional[Link] = None
         self._partial: Dict[int, list] = {}
 
     # ------------------------------------------------------------------
@@ -84,6 +91,7 @@ class ChannelAdapter:
     def attach(self, tx_link: Link, rx_link: Link) -> None:
         """Connect to the fabric and start draining the receive side."""
         self._tx_link = tx_link
+        self._rx_link = rx_link
         self.env.process(self._rx_loop(rx_link), name=f"{self.node_id}-rx",
                          daemon=True)
 
@@ -94,6 +102,10 @@ class ChannelAdapter:
             self._accept(packet)
 
     def _accept(self, packet: Packet) -> None:
+        # Reassembly is safe under faults: the link layer delivers each
+        # packet exactly once and in order (corrupted copies are
+        # CRC-discarded at the receiving port and retransmitted before
+        # the next packet of the message can serialize).
         self.traffic.bytes_in += packet.payload_bytes
         parts = self._partial.setdefault(packet.message_id, [])
         parts.append(packet)
@@ -120,7 +132,26 @@ class ChannelAdapter:
         self.traffic.messages_out += 1
         for packet in message.packetize():
             yield self.env.timeout(self.config.per_packet_ps)
-            yield from self._tx_link.send(packet)
+            try:
+                yield from self._tx_link.send(packet)
+            except LinkTransmissionError as exc:
+                self.traffic.send_failures += 1
+                raise AdapterSendError(
+                    f"{self.node_id}: message to {message.dst} "
+                    f"({message.size_bytes} B) aborted at packet "
+                    f"{packet.seq}") from exc
+
+    def reliability(self) -> Dict[str, int]:
+        """Fault/recovery counters of this adapter's two link directions."""
+        snapshot: Dict[str, int] = {"send_failures": self.traffic.send_failures}
+        for prefix, link in (("tx", self._tx_link), ("rx", self._rx_link)):
+            if link is None:
+                continue
+            stats = link.stats
+            snapshot[f"{prefix}_retransmits"] = stats.retransmits
+            snapshot[f"{prefix}_dropped"] = stats.packets_dropped
+            snapshot[f"{prefix}_corrupted"] = stats.packets_corrupted
+        return snapshot
 
     # ------------------------------------------------------------------
     # Bulk accounting (block-level I/O pipeline)

@@ -16,13 +16,17 @@ Two granularities are offered:
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
 from ..metrics.sampling import BusyTracker
 from ..sim.core import Environment
 from ..sim.resources import Container, Resource, Store
 from ..sim.units import ns, transfer_ps
 from .packet import Packet
+
+
+class LinkTransmissionError(Exception):
+    """A packet exhausted its retransmission budget."""
 
 
 @dataclass(frozen=True)
@@ -44,8 +48,34 @@ class LinkConfig:
 
 @dataclass
 class LinkStats:
-    packets: int = 0
-    bytes: int = 0
+    """Per-direction traffic counters, split by outcome.
+
+    ``sent`` counts serialization attempts (retransmissions included);
+    ``delivered`` counts packets drained intact by the receiver; drops
+    and CRC discards account for the difference.  When the receiver has
+    drained everything, ``packets_sent == packets_delivered +
+    packets_dropped + packets_corrupted`` — the chaos suite's
+    conservation property.
+    """
+
+    packets_sent: int = 0
+    packets_delivered: int = 0
+    packets_dropped: int = 0
+    packets_corrupted: int = 0
+    #: Extra attempts caused by drops/corruptions (first tries excluded).
+    retransmits: int = 0
+    bytes_sent: int = 0
+    bytes_delivered: int = 0
+
+    # Pre-reliability aliases: "the" packet/byte count of a link is what
+    # it actually delivered.
+    @property
+    def packets(self) -> int:
+        return self.packets_delivered
+
+    @property
+    def bytes(self) -> int:
+        return self.bytes_delivered
 
 
 class Link:
@@ -64,40 +94,130 @@ class Link:
                                   name=f"{name}.credits")
         self._wire = Resource(env, capacity=1, name=f"{name}.wire")
         self.busy = BusyTracker(env)
+        #: Credits currently consumed by in-flight packets; every code
+        #: path that gets/puts a credit updates this, so conservation is
+        #: checkable at any instant (see :meth:`assert_credit_conservation`).
+        self._credits_outstanding = 0
+        self._injector = None
+
+    def attach_faults(self, injector) -> None:
+        """Subject this link to ``injector``'s fault plan (idempotent)."""
+        self._injector = injector
 
     # ------------------------------------------------------------------
     # Packet-level path
     # ------------------------------------------------------------------
     def send(self, packet: Packet):
-        """Transmit one packet.
+        """Transmit one packet reliably.
 
-        The generator completes once the packet has left the wire (so a
-        sender can pipeline back-to-back packets); propagation and
-        delivery continue asynchronously.
+        The generator completes once the packet has *successfully* left
+        the wire (so a sender can pipeline back-to-back packets);
+        propagation and delivery continue asynchronously.  Under an
+        attached fault plan a dropped copy is retransmitted after an
+        exponentially backed-off ACK timeout, and a corrupted copy is
+        retransmitted as soon as the receiving port's CRC check NACKs
+        it.  Raises :class:`LinkTransmissionError` when a packet
+        exhausts ``max_retries``.
         """
+        injector = self._injector
+        faults = injector.plan.link if injector is not None else None
         yield self._credits.get(1)
-        with self._wire.request() as grant:
-            yield grant
-            self.busy.enter()
-            try:
-                yield self.env.timeout(self.serialization_ps(packet.wire_bytes))
-            finally:
-                self.busy.exit()
-        self.stats.packets += 1
-        self.stats.bytes += packet.wire_bytes
-        if packet.notify is not None and not packet.notify.triggered:
-            packet.notify.succeed()
-        self.env.process(self._deliver(packet), name=f"{self.name}-deliver")
+        self._credits_outstanding += 1
+        attempt = 0
+        while True:
+            with self._wire.request() as grant:
+                yield grant
+                self.busy.enter()
+                try:
+                    yield self.env.timeout(
+                        self.serialization_ps(packet.wire_bytes))
+                finally:
+                    self.busy.exit()
+            self.stats.packets_sent += 1
+            self.stats.bytes_sent += packet.wire_bytes
+            outcome = ("ok" if faults is None or not faults.enabled
+                       else injector.link_outcome(self.name))
+            if outcome == "ok":
+                # The compose buffer is recycled exactly once, and only
+                # now: a dropped/corrupted copy still needs the buffer
+                # for its retransmission.
+                if packet.notify is not None and not packet.notify.triggered:
+                    packet.notify.succeed()
+                self.env.process(self._deliver(packet),
+                                 name=f"{self.name}-deliver")
+                return
+            if attempt >= faults.max_retries:
+                # The last copy still goes in its outcome bucket so that
+                # sent == delivered + dropped + corrupted holds even for
+                # packets that exhaust their retries.
+                if outcome == "drop":
+                    self.stats.packets_dropped += 1
+                else:
+                    self.stats.packets_corrupted += 1
+                self._credits_outstanding -= 1
+                yield self._credits.put(1)
+                raise LinkTransmissionError(
+                    f"{self.name}: packet msg={packet.message_id} "
+                    f"seq={packet.seq} still {outcome} after "
+                    f"{faults.max_retries} retries")
+            self.stats.retransmits += 1
+            if outcome == "drop":
+                # The copy vanished in the fabric: its credit must come
+                # back *here* — nobody downstream will ever return it.
+                self.stats.packets_dropped += 1
+                self._credits_outstanding -= 1
+                yield self._credits.put(1)
+                backoff = faults.backoff_factor ** attempt
+                yield self.env.timeout(int(faults.ack_timeout_ps * backoff))
+                yield self._credits.get(1)
+                self._credits_outstanding += 1
+            else:  # corrupt: the copy arrives, fails CRC, and is NACKed.
+                nack = self.env.event()
+                mangled = replace(packet, corrupted=True, nack=nack,
+                                  notify=None)
+                self.env.process(self._deliver(mangled),
+                                 name=f"{self.name}-deliver-corrupt")
+                yield nack
+                # NACK turnaround: control packet propagating back.
+                yield self.env.timeout(self.config.propagation_ps)
+                yield self._credits.get(1)
+                self._credits_outstanding += 1
+            attempt += 1
 
     def _deliver(self, packet: Packet):
         yield self.env.timeout(self.config.propagation_ps)
         yield self.delivered.put(packet)
 
     def receive(self):
-        """Take the next delivered packet and return its credit."""
-        packet = yield self.delivered.get()
-        yield self._credits.put(1)
-        return packet
+        """Take the next intact packet and return its credit.
+
+        Corrupted copies are discarded here — the port's CRC check —
+        after returning their credit and firing the NACK that triggers
+        the sender's retransmission, so callers only ever see packets
+        that passed the CRC.
+        """
+        while True:
+            packet = yield self.delivered.get()
+            self._credits_outstanding -= 1
+            yield self._credits.put(1)
+            if packet.corrupted:
+                self.stats.packets_corrupted += 1
+                if packet.nack is not None and not packet.nack.triggered:
+                    packet.nack.succeed()
+                continue
+            self.stats.packets_delivered += 1
+            self.stats.bytes_delivered += packet.wire_bytes
+            return packet
+
+    def assert_credit_conservation(self) -> None:
+        """Every credit is either free or held by one in-flight packet."""
+        free = self._credits.level
+        outstanding = self._credits_outstanding
+        if outstanding < 0 or free + outstanding != self.config.credits:
+            raise AssertionError(
+                f"{self.name}: credit conservation violated — "
+                f"{free} free + {outstanding} outstanding != "
+                f"{self.config.credits} total")
 
     # ------------------------------------------------------------------
     # Analytic path for bulk streams
@@ -134,6 +254,10 @@ class DuplexLink:
                  config: LinkConfig = LinkConfig()):
         self.a_to_b = Link(env, f"{a}->{b}", config)
         self.b_to_a = Link(env, f"{b}->{a}", config)
+
+    def attach_faults(self, injector) -> None:
+        self.a_to_b.attach_faults(injector)
+        self.b_to_a.attach_faults(injector)
 
     def direction(self, from_a: bool) -> Link:
         return self.a_to_b if from_a else self.b_to_a

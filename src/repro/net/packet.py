@@ -38,6 +38,10 @@ class ActiveHeader:
     handler_id: int
     address: int
     cpu_id: Optional[int] = None
+    #: Degradation route: when the switch cannot (or will no longer) run
+    #: the handler, the packet is forwarded unprocessed to this node via
+    #: normal cut-through switching — slower, never wrong.
+    fallback_dst: Optional[str] = None
 
     def __post_init__(self):
         if not 0 <= self.handler_id <= MAX_HANDLER_ID:
@@ -72,8 +76,17 @@ class Packet:
     #: knows the full stream length, like the paper's file_len argument).
     message_bytes: Optional[int] = None
     #: Optional event triggered when the packet finishes its last wire hop
-    #: (used by the send unit to recycle compose buffers).
+    #: (used by the send unit to recycle compose buffers).  Triggered at
+    #: most once, and only for a successfully delivered copy — a dropped
+    #: or corrupted transmission keeps the compose buffer pinned for the
+    #: retransmission.
     notify: Any = None
+    #: Set by a faulty link: the packet was delivered with a failing CRC.
+    #: The receiving port discards it and fires :attr:`nack`.
+    corrupted: bool = False
+    #: On a corrupted copy: event the receiving port fires so the sender
+    #: retransmits immediately instead of waiting out its ACK timeout.
+    nack: Any = None
 
     def __post_init__(self):
         if self.payload_bytes < 0:

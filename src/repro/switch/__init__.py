@@ -1,7 +1,7 @@
 """Switch architecture: the conventional switch and the active switch."""
 
 from .atb import ATBError, AddressTranslationBuffer
-from .active import ActiveSwitch, ActiveSwitchConfig
+from .active import ActiveSwitch, ActiveSwitchConfig, DegradationStats
 from .base import BaseSwitch, RoutingToSwitchError, SwitchConfig
 from .data_buffer import (
     BUFFER_BYTES,
@@ -27,6 +27,7 @@ __all__ = [
     "AddressTranslationBuffer",
     "ActiveSwitch",
     "ActiveSwitchConfig",
+    "DegradationStats",
     "BaseSwitch",
     "RoutingToSwitchError",
     "SwitchConfig",

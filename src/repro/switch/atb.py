@@ -128,6 +128,25 @@ class AddressTranslationBuffer:
             self._notify_release()
         return released
 
+    def release_range(self, start_address: int, end_address: int) -> List[DataBuffer]:
+        """Unmap and return buffers whose region overlaps ``[start, end)``.
+
+        Crash containment uses this to reclaim exactly the crashed
+        message's stream mappings without disturbing other messages
+        interleaved on the same CPU.
+        """
+        released = []
+        for index, entry in enumerate(self._entries):
+            if entry is None:
+                continue
+            if (entry.base_address < end_address
+                    and entry.base_address + self.region_bytes > start_address):
+                released.append(entry.buffer)
+                self._entries[index] = None
+        if released:
+            self._notify_release()
+        return released
+
     def on_release(self, callback) -> None:
         """Register a one-shot callback fired when entries free up.
 

@@ -49,12 +49,16 @@ class DataBuffer:
         self.valid_bytes = 0
         self.payload = None
         self._waiters = []  # (threshold, event)
+        #: Bumped by reset(); an in-flight fill from a previous tenancy
+        #: stops dead instead of validating the new tenant's lines.
+        self._generation = 0
 
     def reset(self) -> None:
         """Recycle the buffer for a new message."""
         self.valid_bytes = 0
         self.payload = None
         self._waiters.clear()
+        self._generation += 1
 
     def mark_all_valid(self) -> None:
         """Instantly validate the whole buffer (zero-copy local compose)."""
@@ -78,12 +82,18 @@ class DataBuffer:
             raise BufferError(
                 f"fill of {nbytes} B exceeds buffer size {self.size} B")
         line_time = transfer_ps(self.line, bandwidth_bytes_per_s)
+        generation = self._generation
         remaining = nbytes
         while remaining > 0:
             chunk = min(self.line, remaining)
             yield self.env.timeout(
                 line_time if chunk == self.line
                 else transfer_ps(chunk, bandwidth_bytes_per_s))
+            if self._generation != generation:
+                # The buffer was released and recycled mid-fill (handler
+                # crash cleanup): this stream's remaining lines must not
+                # corrupt the next tenant's valid bits.
+                return
             self.valid_bytes += chunk
             remaining -= chunk
             self._wake()

@@ -60,6 +60,9 @@ class JumpTable:
 class DispatchStats:
     dispatched: int = 0
     queued_waits: int = 0
+    #: Handler invocations that raised but were contained by the
+    #: switch's crash handler instead of killing the worker.
+    contained_crashes: int = 0
 
 
 class CpuScheduler:
@@ -82,18 +85,36 @@ class CpuScheduler:
         self.stats = DispatchStats()
         self._queues: List[Store] = [Store(env) for _ in cpus]
         self._pending: List[int] = [0] * len(cpus)
+        self._crash_handler: Optional[Callable] = None
         for index, cpu in enumerate(cpus):
             env.process(self._worker(index, cpu), name=f"dispatch-{cpu.name}",
                         daemon=True)
+
+    def set_crash_handler(self, handler: Callable) -> None:
+        """Install crash containment: ``handler(exc, meta, cpu)``.
+
+        Called when a handler invocation raises.  Return True to contain
+        the crash (the worker survives and its completion event fires
+        with ``None``); return False to let the exception propagate —
+        the pre-containment behaviour, which kills the worker and
+        surfaces the error at ``env.run``.
+        """
+        self._crash_handler = handler
 
     def _worker(self, index: int, cpu):
         queue = self._queues[index]
         while True:
             task = yield queue.get()
-            generator, done = task
+            generator, done, meta = task
             cpu.active = True
             try:
                 result = yield self.env.process(generator, name=f"{cpu.name}-handler")
+            except Exception as exc:
+                if (self._crash_handler is None
+                        or not self._crash_handler(exc, meta, cpu)):
+                    raise
+                self.stats.contained_crashes += 1
+                result = None
             finally:
                 cpu.active = False
                 self._pending[index] -= 1
@@ -115,12 +136,14 @@ class CpuScheduler:
         index = min(range(len(self.cpus)), key=lambda i: self._pending[i])
         return self.cpus[index]
 
-    def dispatch_on(self, cpu, make_generator: Callable):
+    def dispatch_on(self, cpu, make_generator: Callable, meta=None):
         """Schedule a handler on ``cpu``; returns its completion event.
 
         ``make_generator(cpu)`` builds the handler generator bound to the
         chosen CPU (the context needs to know which CPU's ATB and caches
-        it uses).
+        it uses).  ``meta`` is opaque invocation context handed to the
+        crash handler if this invocation dies (which message/handler the
+        cleanup must unwind).
         """
         index = self.cpus.index(cpu)
         if self._pending[index] > 0:
@@ -131,14 +154,15 @@ class CpuScheduler:
 
         def launch():
             yield self.env.timeout(self.DISPATCH_LATENCY_PS)
-            yield self._queues[index].put((make_generator(cpu), done))
+            yield self._queues[index].put((make_generator(cpu), done, meta))
 
         self.env.process(launch(), name="dispatch-launch")
         return done
 
-    def dispatch(self, make_generator: Callable, cpu_id: Optional[int] = None):
+    def dispatch(self, make_generator: Callable, cpu_id: Optional[int] = None,
+                 meta=None):
         """Pick a CPU and schedule a handler on it in one step."""
-        return self.dispatch_on(self.pick(cpu_id), make_generator)
+        return self.dispatch_on(self.pick(cpu_id), make_generator, meta=meta)
 
     @property
     def busy_count(self) -> int:

@@ -113,6 +113,23 @@ class HandlerContext:
             self.switch.buffers.release(buffer)
         self._released = True
 
+    def deallocate_range(self, start_address: int, end_address: int):
+        """Free exactly the buffers mapped in ``[start, end)``.
+
+        :meth:`deallocate` frees *everything* below ``end_address`` —
+        right for a single in-order stream, but destructive when
+        concurrent senders stage at per-sender slot addresses and
+        retransmissions reorder their arrival: a high slot's handler
+        would free a lower slot staged late, stranding that slot's
+        handler on a mapping that never reappears.  Slotted handlers
+        must release only their own region.
+        """
+        yield from self.cpu.work(busy_cycles=RELEASE_BUFFER_CYCLES)
+        atb = self.switch.atb_for(self.cpu)
+        for buffer in atb.release_range(start_address, end_address):
+            self.switch.buffers.release(buffer)
+        self._released = True
+
     def kernel_state(self, key: str, default=None):
         """Read a value from the switch's embedded-kernel state.
 

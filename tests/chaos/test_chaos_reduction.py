@@ -1,0 +1,110 @@
+"""Chaos: collective reductions over a lossy fabric.
+
+Every link in the switch tree drops and corrupts packets; the CRC +
+NACK/retransmission protocol must hide all of it — the numerically
+checked reduction result has to match the fault-free oracle bit for
+bit, on both the active (switch-handler) and normal (host MST) paths.
+"""
+
+import pytest
+
+from repro.apps.reduction import (
+    REDUCE_TO_ONE,
+    REDUCTION_HCA,
+    _make_vectors,
+    _oracle,
+    run_active_reduction,
+    run_normal_reduction,
+)
+from repro.cluster.topology import SwitchTree
+from repro.faults import FaultInjector, FaultPlan, LinkFaults
+from repro.sim import Environment
+
+pytestmark = pytest.mark.chaos
+
+LOSSY = FaultPlan(link=LinkFaults(drop_rate=0.1, bit_error_rate=0.05))
+
+
+def _lossy_tree(num_hosts, seed, plan=LOSSY):
+    env = Environment()
+    injector = FaultInjector(plan, seed=seed)
+    tree = SwitchTree(env, num_hosts=num_hosts, hosts_per_leaf=8,
+                      switch_ports=16, hca_config=REDUCTION_HCA,
+                      injector=injector)
+    return tree, injector
+
+
+def _host_retransmits(tree):
+    return sum(host.hca.reliability().get("tx_retransmits", 0) +
+               host.hca.reliability().get("rx_retransmits", 0)
+               for host in tree.hosts)
+
+
+def test_active_reduction_is_byte_correct_under_link_faults():
+    vectors = _make_vectors(16)
+    tree, injector = _lossy_tree(16, seed=11)
+    result = run_active_reduction(tree, vectors, REDUCE_TO_ONE)
+    assert result.result_vector == _oracle(vectors)
+    # The fabric really was lossy — recovery did actual work.
+    assert injector.total_injected > 0
+    snapshot = injector.snapshot()
+    assert (snapshot.get("injected_link_drops", 0) +
+            snapshot.get("injected_link_corruptions", 0)) > 0
+
+
+def test_normal_reduction_is_byte_correct_under_link_faults():
+    vectors = _make_vectors(8)
+    tree, injector = _lossy_tree(8, seed=5)
+    result = run_normal_reduction(tree, vectors, REDUCE_TO_ONE)
+    assert result.result_vector == _oracle(vectors)
+    assert injector.total_injected > 0
+    assert _host_retransmits(tree) > 0
+
+
+def test_faults_cost_latency_but_never_bytes():
+    vectors = _make_vectors(16)
+    clean_env = Environment()
+    clean_tree = SwitchTree(clean_env, num_hosts=16, hosts_per_leaf=8,
+                            switch_ports=16, hca_config=REDUCTION_HCA)
+    clean = run_active_reduction(clean_tree, vectors, REDUCE_TO_ONE)
+
+    tree, injector = _lossy_tree(16, seed=11)
+    faulty = run_active_reduction(tree, vectors, REDUCE_TO_ONE)
+    assert faulty.result_vector == clean.result_vector == _oracle(vectors)
+    assert injector.total_injected > 0
+    assert faulty.latency_ps > clean.latency_ps
+
+
+def test_same_seed_reproduces_the_same_fault_schedule():
+    runs = []
+    for _ in range(2):
+        vectors = _make_vectors(16)
+        tree, injector = _lossy_tree(16, seed=11)
+        result = run_active_reduction(tree, vectors, REDUCE_TO_ONE)
+        runs.append((result.latency_ps, injector.fingerprint(),
+                     injector.total_injected, tuple(result.result_vector)))
+    assert runs[0] == runs[1]
+
+
+def test_different_seeds_draw_different_schedules():
+    fingerprints = set()
+    for seed in (11, 12, 13):
+        vectors = _make_vectors(16)
+        tree, injector = _lossy_tree(16, seed=seed)
+        result = run_active_reduction(tree, vectors, REDUCE_TO_ONE)
+        assert result.result_vector == _oracle(vectors)
+        fingerprints.add(injector.fingerprint())
+    assert len(fingerprints) == 3
+
+
+def test_plan_seed_reproduces_through_the_tree():
+    """A seed carried in the plan itself beats the constructor seed, so
+    a preset with a pinned seed is reproducible regardless of caller."""
+    plan = FaultPlan(link=LOSSY.link, seed=11)
+    results = []
+    for constructor_seed in (0, 99):
+        vectors = _make_vectors(16)
+        tree, injector = _lossy_tree(16, seed=constructor_seed, plan=plan)
+        result = run_active_reduction(tree, vectors, REDUCE_TO_ONE)
+        results.append((result.latency_ps, injector.fingerprint()))
+    assert results[0] == results[1]

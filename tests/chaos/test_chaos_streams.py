@@ -1,0 +1,80 @@
+"""Chaos: the block-I/O benchmark pipeline over failing disks.
+
+The app kernels must produce identical functional traffic with disks
+that throw transient errors — recovery costs time, never data — and a
+seeded run must reproduce exactly.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.apps.base import BlockWork, StreamApp
+from repro.faults import DiskFaults, FaultPlan
+
+pytestmark = pytest.mark.chaos
+
+
+class _ToyApp(StreamApp):
+    """Six blocks of real disk traffic with a little host work."""
+
+    name = "chaos-toy"
+    request_bytes = 64 * 1024
+
+    def prepare(self):
+        self.blocks = [
+            BlockWork(nbytes=64 * 1024, host_cycles=1000,
+                      handler_cycles=500, out_bytes=512,
+                      active_host_cycles=100)
+            for _ in range(6)
+        ]
+
+
+def _run(faults, label="normal", seed=0):
+    app = _ToyApp()
+    config = dataclasses.replace(app.cluster_config(), seed=seed,
+                                 faults=faults)
+    config = config.with_case(active=label.startswith("active"),
+                              prefetch=label.endswith("+pref"))
+    return app.run_case(config)
+
+
+FLAKY_DISKS = FaultPlan(disk=DiskFaults(read_error_rate=0.2))
+
+
+@pytest.mark.parametrize("label", ["normal", "active+pref"])
+def test_disk_errors_slow_the_run_but_not_the_bytes(label):
+    clean = _run(None, label)
+    faulty = _run(FLAKY_DISKS, label)
+    # Errors were injected and retried...
+    assert faulty.extra["disk_transient_errors"] > 0
+    assert faulty.extra["disk_retries"] > 0
+    assert faulty.extra["injected_disk_errors"] > 0
+    # ...which costs wall-clock time...
+    assert faulty.exec_ps > clean.exec_ps
+    # ...but the host saw the exact same functional traffic.
+    assert faulty.host_bytes_in == clean.host_bytes_in
+    assert faulty.host_bytes_out == clean.host_bytes_out
+    # And the clean run pays zero cost for the fault machinery.
+    assert clean.extra == {}
+
+
+def test_seeded_chaos_run_is_bit_for_bit_reproducible():
+    first = _run(FLAKY_DISKS, "normal", seed=7)
+    second = _run(FLAKY_DISKS, "normal", seed=7)
+    assert first.exec_ps == second.exec_ps
+    assert first.extra == second.extra
+
+
+def test_config_seed_changes_the_fault_schedule():
+    outcomes = {(_run(FLAKY_DISKS, "normal", seed=s).exec_ps,)
+                for s in (1, 2, 3, 4)}
+    assert len(outcomes) > 1
+
+
+def test_reliability_report_reaches_the_case_result():
+    faulty = _run(FLAKY_DISKS, "normal")
+    # The run report carries the recovery metrics for the tables.
+    for key in ("disk_transient_errors", "disk_retries",
+                "injected_disk_errors"):
+        assert key in faulty.extra

@@ -44,6 +44,32 @@ def test_occupancy_zero():
     assert Link(env, "l").occupancy_ps(0) == 0
 
 
+def test_occupancy_single_packet_adds_one_header():
+    env = Environment()
+    link = Link(env, "l")
+    # Anything up to one MTU is one packet -> exactly one header.
+    assert link.occupancy_ps(1) == link.serialization_ps(1 + 16)
+    assert link.occupancy_ps(512) == link.serialization_ps(512 + 16)
+
+
+def test_occupancy_header_count_at_mtu_boundaries():
+    env = Environment()
+    link = Link(env, "l")
+    # 513 B spills into a second packet -> two headers.
+    assert link.occupancy_ps(513) == link.serialization_ps(513 + 32)
+    # Exact multiples need exactly size/MTU headers, no phantom packet.
+    assert link.occupancy_ps(1024) == link.serialization_ps(1024 + 32)
+    assert link.occupancy_ps(512 * 100) == link.serialization_ps(
+        512 * 100 + 100 * 16)
+
+
+def test_occupancy_honors_custom_mtu_and_header():
+    env = Environment()
+    link = Link(env, "l")
+    assert link.occupancy_ps(1000, mtu=100, header_bytes=8) == \
+        link.serialization_ps(1000 + 10 * 8)
+
+
 def test_packets_serialize_back_to_back():
     env = Environment()
     link = Link(env, "l")

@@ -1,0 +1,209 @@
+"""Link-layer recovery: drops, CRC NACKs, retries, credit conservation."""
+
+import pytest
+
+from repro.faults import FaultInjector, FaultPlan, LinkFaults
+from repro.net import (
+    ChannelAdapter,
+    AdapterSendError,
+    Link,
+    LinkConfig,
+    LinkTransmissionError,
+    Packet,
+)
+from repro.sim import Environment
+from repro.sim.units import us
+
+
+def _faulty_link(env, link_faults, seed=0, config=LinkConfig()):
+    link = Link(env, "l", config)
+    link.attach_faults(FaultInjector(FaultPlan(link=link_faults), seed=seed))
+    return link
+
+
+def _run_roundtrip(link, env, npackets=1, payload_bytes=256):
+    received = []
+
+    def sender(env):
+        for _ in range(npackets):
+            yield from link.send(Packet("a", "b",
+                                        payload_bytes=payload_bytes))
+
+    def receiver(env):
+        for _ in range(npackets):
+            packet = yield from link.receive()
+            received.append(packet)
+
+    env.process(sender(env))
+    env.process(receiver(env))
+    env.run()
+    return received
+
+
+# ----------------------------------------------------------------------
+# Drops: ACK timeout + retransmission; the credit comes back (satellite:
+# the pre-reliability code leaked the credit of a lost packet).
+# ----------------------------------------------------------------------
+def test_dropped_packet_is_retransmitted_and_delivered():
+    env = Environment()
+    link = _faulty_link(env, LinkFaults(drop_attempts=(0,)))
+    received = _run_roundtrip(link, env)
+    assert len(received) == 1
+    assert not received[0].corrupted
+    assert link.stats.packets_sent == 2
+    assert link.stats.packets_dropped == 1
+    assert link.stats.retransmits == 1
+    assert link.stats.packets_delivered == 1
+
+
+def test_drop_returns_credit_immediately():
+    """A dropped packet's credit must not leak: with 1 credit, a drop
+    followed by a successful retransmission still completes."""
+    env = Environment()
+    link = _faulty_link(env, LinkFaults(drop_attempts=(0, 2)),
+                        config=LinkConfig(credits=1))
+    received = _run_roundtrip(link, env, npackets=2)
+    assert len(received) == 2
+    link.assert_credit_conservation()
+    assert link._credits.level == 1
+
+
+def test_drop_waits_ack_timeout_with_backoff():
+    env = Environment()
+    faults = LinkFaults(drop_attempts=(0, 1), ack_timeout_ps=us(5),
+                        backoff_factor=2.0)
+    link = _faulty_link(env, faults)
+    arrival = {}
+
+    def sender(env):
+        yield from link.send(Packet("a", "b", payload_bytes=256))
+
+    def receiver(env):
+        yield from link.receive()
+        arrival["t"] = env.now
+
+    env.process(sender(env))
+    env.process(receiver(env))
+    env.run()
+    serialization = link.serialization_ps(256 + 16)
+    expected = (3 * serialization            # two lost copies + the good one
+                + us(5) + us(10)             # backed-off ACK timeouts
+                + link.config.propagation_ps)
+    assert arrival["t"] == expected
+
+
+# ----------------------------------------------------------------------
+# Corruption: CRC discard at the receiving port + NACK retransmission
+# ----------------------------------------------------------------------
+def test_corrupted_packet_is_nacked_and_retransmitted():
+    env = Environment()
+    link = _faulty_link(env, LinkFaults(corrupt_attempts=(0,)))
+    received = _run_roundtrip(link, env)
+    assert len(received) == 1
+    assert not received[0].corrupted
+    assert link.stats.packets_corrupted == 1
+    assert link.stats.retransmits == 1
+    assert link.stats.packets_sent == 2
+    link.assert_credit_conservation()
+    assert link._credits.level == link.config.credits
+
+
+def test_receiver_never_sees_corrupted_copies():
+    env = Environment()
+    link = _faulty_link(env, LinkFaults(corrupt_attempts=(0, 1, 2)))
+    received = _run_roundtrip(link, env, npackets=2)
+    assert [p.corrupted for p in received] == [False, False]
+    assert link.stats.packets_corrupted == 3
+
+
+def test_notify_fires_exactly_once_despite_retransmissions():
+    """The compose-buffer recycle event must fire only for the copy that
+    made it — and only once (satellite: Packet.notify semantics)."""
+    env = Environment()
+    link = _faulty_link(env, LinkFaults(drop_attempts=(0,),
+                                        corrupt_attempts=(1,)))
+    packet = Packet("a", "b", payload_bytes=64)
+    packet.notify = env.event()
+    fired = []
+    packet.notify.callbacks.append(lambda e: fired.append(env.now))
+
+    def sender(env):
+        yield from link.send(packet)
+
+    def receiver(env):
+        yield from link.receive()
+
+    env.process(sender(env))
+    env.process(receiver(env))
+    env.run()
+    assert len(fired) == 1
+    # Attempts 0 (drop) and 1 (corrupt) must not have recycled it.
+    assert link.stats.retransmits == 2
+
+
+# ----------------------------------------------------------------------
+# Exhaustion
+# ----------------------------------------------------------------------
+def test_retry_exhaustion_raises_and_restores_credit():
+    env = Environment()
+    link = _faulty_link(
+        env, LinkFaults(drop_attempts=tuple(range(10)), max_retries=2))
+    failures = []
+
+    def sender(env):
+        try:
+            yield from link.send(Packet("a", "b", payload_bytes=64))
+        except LinkTransmissionError as exc:
+            failures.append(exc)
+
+    env.process(sender(env))
+    env.run()
+    assert len(failures) == 1
+    link.assert_credit_conservation()
+    assert link._credits.level == link.config.credits
+    assert link.stats.packets_delivered == 0
+
+
+def test_adapter_wraps_exhaustion_as_send_error():
+    env = Environment()
+    tx = _faulty_link(
+        env, LinkFaults(drop_attempts=tuple(range(10)), max_retries=1))
+    rx = Link(env, "rx")
+    adapter = ChannelAdapter(env, "node")
+    adapter.attach(tx_link=tx, rx_link=rx)
+    failures = []
+
+    def sender(env):
+        from repro.net import Message
+        try:
+            yield from adapter.transmit(Message("node", "peer", size_bytes=64))
+        except AdapterSendError as exc:
+            failures.append(exc)
+
+    env.process(sender(env))
+    env.run()
+    assert len(failures) == 1
+    assert adapter.traffic.send_failures == 1
+    assert adapter.reliability()["send_failures"] == 1
+    assert adapter.reliability()["tx_dropped"] == 2
+
+
+# ----------------------------------------------------------------------
+# Conservation checker
+# ----------------------------------------------------------------------
+def test_credit_conservation_checker_detects_a_leak():
+    env = Environment()
+    link = Link(env, "l")
+    link.assert_credit_conservation()  # clean link passes
+    link._credits_outstanding += 1      # simulate a leaked credit
+    with pytest.raises(AssertionError, match="credit conservation"):
+        link.assert_credit_conservation()
+
+
+def test_fault_free_link_keeps_conservation_under_load():
+    env = Environment()
+    link = Link(env, "l", LinkConfig(credits=2))
+    _run_roundtrip(link, env, npackets=5)
+    link.assert_credit_conservation()
+    assert link._credits.level == 2
+    assert link.stats.packets_sent == link.stats.packets_delivered == 5

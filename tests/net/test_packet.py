@@ -87,6 +87,37 @@ def test_packetize_propagates_active_header():
     assert all(p.active == header for p in packets)
 
 
+def test_packetize_zero_size_message():
+    """A zero-byte message still needs one packet to carry its header
+    (and any functional payload riding on it)."""
+    message = Message("a", "b", size_bytes=0, payload={"token": 9})
+    packets = message.packetize()
+    assert len(packets) == 1
+    assert packets[0].payload_bytes == 0
+    assert packets[0].seq == 0
+    assert packets[0].last
+    assert packets[0].payload == {"token": 9}
+
+
+def test_packetize_exact_mtu_multiples():
+    """No phantom trailing packet when the size divides evenly."""
+    for multiple in (1, 2, 8):
+        message = Message("a", "b", size_bytes=multiple * MTU)
+        packets = message.packetize()
+        assert len(packets) == multiple
+        assert all(p.payload_bytes == MTU for p in packets)
+        assert [p.last for p in packets] == [False] * (multiple - 1) + [True]
+
+
+def test_packetize_payload_only_on_seq_zero_for_long_messages():
+    message = Message("a", "b", size_bytes=3 * MTU + 1, payload=[1, 2, 3])
+    packets = message.packetize()
+    assert len(packets) == 4
+    assert packets[0].payload == [1, 2, 3]
+    assert all(p.payload is None for p in packets[1:])
+    assert all(p.message_bytes == 3 * MTU + 1 for p in packets)
+
+
 def test_distinct_messages_get_distinct_ids():
     a = Message("a", "b", size_bytes=10).packetize()
     b = Message("a", "b", size_bytes=10).packetize()

@@ -62,3 +62,10 @@ def test_technology_trends_runs(capsys):
     out = capsys.readouterr().out
     assert "fast_storage" in out
     assert "paper_2003" in out
+
+
+def test_fault_injection_runs(capsys):
+    run_example("fault_injection.py", ["11"])
+    out = capsys.readouterr().out
+    assert "result byte-correct" in out
+    assert "reproduces the run: True" in out
