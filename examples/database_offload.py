@@ -11,14 +11,13 @@ Run:  python examples/database_offload.py [scale]
 
 import sys
 
-from repro.apps import HashJoinApp, SelectApp, run_four_cases
-from repro.metrics import breakdown_table, performance_table
+import repro
 
 
 def main(scale: float = 1 / 32):
     print("=== Select: sequential range selection ===\n")
-    select = run_four_cases(lambda: SelectApp(scale=scale))
-    print(performance_table(select))
+    select = repro.run("select", scale=scale)
+    print(select.report().performance())
     normal_avg = (select.utilization("normal")
                   + select.utilization("normal+pref")) / 2
     active_avg = (select.utilization("active")
@@ -30,10 +29,10 @@ def main(scale: float = 1 / 32):
           f"(paper: 0.25 — the selectivity)\n")
 
     print("=== HashJoin with a bit-vector filter in the switch ===\n")
-    join = run_four_cases(lambda: HashJoinApp(scale=scale))
-    print(performance_table(join))
+    join = repro.run("hashjoin", scale=scale)
+    print(join.report().performance())
     print()
-    print(breakdown_table(join))
+    print(join.report().breakdown())
     npref = join.case("normal+pref").host.stall_frac
     apref = join.case("active+pref").host.stall_frac
     print(f"\nhost cache-stall share of execution: "

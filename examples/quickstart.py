@@ -1,6 +1,13 @@
-"""Quickstart: build an active-switch fabric and run a handler.
+"""Quickstart: run a paper benchmark, then hand-wire a fabric.
 
-Shows the core public API at the lowest level: create an environment,
+Part 1 is the one-liner most users want — ``repro.run()`` executes a
+registered benchmark under all four paper configurations (normal,
+normal+pref, active, active+pref) and hands back a result with
+figure-style reports.  Add ``parallel=4`` for a process pool or
+``cache=".repro-cache"`` to make reruns instant; both are bit-identical
+to the serial run.
+
+Part 2 shows the core API at the lowest level: create an environment,
 wire two endpoints to an :class:`ActiveSwitch`, register a handler in
 the jump table, and fire an active message at the switch.  The handler
 streams its input out of the on-chip data buffers (stalling on the
@@ -10,12 +17,21 @@ replies to the other endpoint.
 Run:  python examples/quickstart.py
 """
 
+import repro
 from repro.net import ActiveHeader, ChannelAdapter, Link, Message
 from repro.sim import Environment, ps_to_us
 from repro.switch import ActiveSwitch, ActiveSwitchConfig
 
 
+def run_benchmark():
+    result = repro.run("grep", scale=0.1)
+    print(result.report().performance())
+    print(f"active speedup over normal: {result.active_speedup:.2f}x")
+    print()
+
+
 def main():
+    run_benchmark()
     env = Environment()
     switch = ActiveSwitch(env, "sw0",
                           active_config=ActiveSwitchConfig(num_cpus=1))

@@ -9,26 +9,14 @@ Run:  python examples/technology_trends.py [scale]
 """
 
 import sys
-from dataclasses import replace
 
-from repro.apps import GrepApp, run_four_cases
-from repro.cluster.presets import PRESETS, get_preset
+import repro
 
 
 def run_under_preset(name: str, scale: float):
-    def make():
-        app = GrepApp(scale=scale)
-        base = get_preset(name)
-        original = app.cluster_config
-
-        def patched(base=base, original=original):
-            mine = original()
-            return replace(base, num_switch_cpus=mine.num_switch_cpus)
-
-        app.cluster_config = patched
-        return app
-
-    return run_four_cases(make)
+    # preset= swaps the technology point while keeping the app's own
+    # topology (host/storage counts, switch CPUs).
+    return repro.run("grep", scale=scale, preset=name)
 
 
 def main(scale: float = 0.5):

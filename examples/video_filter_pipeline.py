@@ -10,8 +10,8 @@ Run:  python examples/video_filter_pipeline.py [scale]
 
 import sys
 
-from repro.apps import MpegFilterApp, run_four_cases
-from repro.metrics import breakdown_table, performance_table
+import repro
+from repro.apps import MpegFilterApp
 
 
 def main(scale: float = 1.0):
@@ -19,10 +19,11 @@ def main(scale: float = 1.0):
     print(f"input stream: {app.total_bytes} bytes, "
           f"{app.p_byte_fraction:.1%} P-frame bytes (filtered out)\n")
 
-    result = run_four_cases(lambda: MpegFilterApp(scale=scale))
-    print(performance_table(result))
+    result = repro.run("mpeg", scale=scale)
+    report = result.report()
+    print(report.performance())
     print()
-    print(breakdown_table(result))
+    print(report.breakdown())
     print()
     print(f"active vs normal speedup:            {result.active_speedup:.2f} "
           f"(paper: 1.23)")

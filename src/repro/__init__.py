@@ -15,20 +15,33 @@ Layers (each usable on its own):
   fabric, the (active) switch, and the storage subsystem;
 * :mod:`repro.cluster` — system assembly and the bulk I/O pipeline;
 * :mod:`repro.apps` — the paper's nine benchmarks;
+* :mod:`repro.runner` — parallel experiment harness with deterministic
+  result caching (``python -m repro.runner``);
 * :mod:`repro.experiments` — every table/figure, runnable
-  (``python -m repro.experiments``).
+  (``python -m repro.experiments [--parallel N]``).
 
 Quickstart::
 
-    from repro import ClusterConfig, System
-    from repro.apps import GrepApp, run_four_cases
-    from repro.metrics import performance_table
+    import repro
 
-    result = run_four_cases(lambda: GrepApp(scale=0.25))
-    print(performance_table(result))
+    result = repro.run("grep", scale=0.25)
+    print(result.report().performance())
+
+``repro.run`` accepts any registered benchmark name, a ``StreamApp``
+subclass, or (for the old API) a factory callable; add ``parallel=4``
+for a process pool and ``cache=True`` for on-disk result caching.
 """
 
-from .cluster import ClusterConfig, ReadStream, System, four_cases
+from .cluster import (
+    CASE_ORDER,
+    ClusterConfig,
+    PRESETS,
+    ReadStream,
+    System,
+    case_configs,
+    four_cases,
+    get_preset,
+)
 from .faults import (
     DiskFaults,
     FaultInjector,
@@ -40,34 +53,73 @@ from .faults import (
 from .metrics import (
     BenchmarkResult,
     CaseResult,
+    Report,
     breakdown_table,
     performance_table,
     reliability_table,
 )
-from .sim import Environment
+from .runner import (
+    AppSpec,
+    ExperimentRunner,
+    ResultCache,
+    RunResult,
+    configure,
+    make_spec,
+    paper_grid,
+    register_app,
+    run,
+    run_many,
+)
+from .sim import Environment, Tracer
 from .switch import ActiveSwitch, ActiveSwitchConfig, BaseSwitch
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
+#: Authoritative public surface: `import *`, the docs' API reference,
+#: and tests/test_public_api.py all derive from this list.
 __all__ = [
+    # Unified front door
+    "run",
+    "run_many",
+    "configure",
+    "RunResult",
+    # Harness building blocks
+    "AppSpec",
+    "ExperimentRunner",
+    "ResultCache",
+    "make_spec",
+    "paper_grid",
+    "register_app",
+    # Cluster configuration
+    "CASE_ORDER",
     "ClusterConfig",
+    "PRESETS",
+    "get_preset",
+    "case_configs",
     "ReadStream",
     "System",
-    "four_cases",
+    # Fault injection
     "DiskFaults",
     "FaultInjector",
     "FaultPlan",
     "HandlerFaults",
     "LinkFaults",
     "ScsiFaults",
+    # Results and reporting
     "BenchmarkResult",
     "CaseResult",
+    "Report",
     "breakdown_table",
     "performance_table",
     "reliability_table",
+    # Simulation kernel
     "Environment",
+    "Tracer",
+    # Switch models
     "ActiveSwitch",
     "ActiveSwitchConfig",
     "BaseSwitch",
+    # Deprecated (warn-and-forward shims)
+    "four_cases",
     "__version__",
 ]

@@ -6,71 +6,27 @@
     python -m repro.apps hashjoin --scale 0.03125
     python -m repro.apps md5 --switch-cpus 4
     python -m repro.apps sort --preset fast_storage
+    python -m repro.apps grep --parallel 4 --cache .repro-cache
     python -m repro.apps --list
+
+Everything routes through :func:`repro.run`, so ``--parallel`` fans the
+four configurations across worker processes and ``--cache`` reuses
+results across invocations — with output bit-identical to serial runs.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
-from dataclasses import replace
 
-from ..cluster.presets import PRESETS, get_preset
-from ..metrics.report import breakdown_table, performance_table
-from ..metrics.results import BenchmarkResult
-from .base import run_four_cases
-from .grep import GrepApp
-from .hashjoin import HashJoinApp
-from .md5 import Md5App
-from .mpeg_filter import MpegFilterApp
-from .select import SelectApp
-from .sort import SortApp
-from .tar import TarApp
-
-#: name -> (factory(scale, args), sensible default scale).
-APPS = {
-    "grep": (lambda scale, args: GrepApp(scale=scale), 1.0),
-    "select": (lambda scale, args: SelectApp(scale=scale), 1 / 16),
-    "hashjoin": (lambda scale, args: HashJoinApp(scale=scale), 1 / 16),
-    "mpeg": (lambda scale, args: MpegFilterApp(scale=scale), 1.0),
-    "tar": (lambda scale, args: TarApp(scale=scale), 1.0),
-    "sort": (lambda scale, args: SortApp(scale=scale), 1 / 64),
-    "md5": (lambda scale, args: Md5App(scale=scale,
-                                       num_switch_cpus=args.switch_cpus),
-            1.0),
-}
-
-
-def run_app(name: str, args) -> BenchmarkResult:
-    factory, default_scale = APPS[name]
-    scale = args.scale if args.scale is not None else default_scale
-
-    def make():
-        app = factory(scale, args)
-        if args.preset != "paper_2003":
-            base = get_preset(args.preset)
-            original = app.cluster_config
-
-            def patched_config(base=base, original=original):
-                mine = original()
-                return replace(
-                    base,
-                    num_hosts=mine.num_hosts,
-                    num_storage=mine.num_storage,
-                    num_switch_cpus=mine.num_switch_cpus,
-                    database_scaled_caches=mine.database_scaled_caches,
-                    cache_scale_divisor=mine.cache_scale_divisor,
-                )
-
-            app.cluster_config = patched_config
-        return app
-
-    return run_four_cases(make)
+from ..cluster.presets import PRESETS
+from ..runner.api import run
+from ..runner.spec import APP_REGISTRY, DEFAULT_SCALES
 
 
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("app", nargs="?", choices=sorted(APPS),
+    parser.add_argument("app", nargs="?", choices=sorted(APP_REGISTRY),
                         help="benchmark to run")
     parser.add_argument("--scale", type=float, default=None,
                         help="workload scale (1.0 = paper size)")
@@ -79,19 +35,32 @@ def main(argv=None) -> int:
     parser.add_argument("--preset", default="paper_2003",
                         choices=sorted(PRESETS),
                         help="technology preset for the cluster")
+    parser.add_argument("--parallel", type=int, default=1, metavar="N",
+                        help="worker processes for the four cases")
+    parser.add_argument("--cache", metavar="DIR", default=None,
+                        help="reuse/store per-case results in DIR")
     parser.add_argument("--list", action="store_true",
                         help="list available benchmarks")
     args = parser.parse_args(argv)
 
     if args.list or args.app is None:
-        for name in sorted(APPS):
+        for name in sorted(APP_REGISTRY):
             print(name)
         return 0
 
-    result = run_app(args.app, args)
-    print(performance_table(result))
+    scale = (args.scale if args.scale is not None
+             else DEFAULT_SCALES.get(args.app, 1.0))
+    params = {"scale": scale}
+    if args.app == "md5":
+        params["num_switch_cpus"] = args.switch_cpus
+    preset = None if args.preset == "paper_2003" else args.preset
+
+    result = run(args.app, parallel=args.parallel, cache=args.cache,
+                 preset=preset, **params)
+    report = result.report()
+    print(report.performance())
     print()
-    print(breakdown_table(result))
+    print(report.breakdown())
     print()
     print(f"active speedup (vs normal):           {result.active_speedup:.3f}")
     print(f"active+pref speedup (vs normal+pref): "

@@ -34,7 +34,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional
 
-from ..cluster.config import ClusterConfig, four_cases
+from ..cluster.config import ClusterConfig
 from ..cluster.iostream import ReadStream
 from ..cluster.system import System
 from ..cpu.accounting import Breakdown
@@ -206,19 +206,18 @@ def finalize_case(system: System, label: str) -> CaseResult:
 
 def run_four_cases(app_factory: Callable[[], StreamApp],
                    name: Optional[str] = None) -> BenchmarkResult:
-    """Run all four configurations of a benchmark.
+    """Deprecated alias of :func:`repro.run`.
 
-    ``app_factory`` builds a fresh app per case so functional state and
-    cost callables never leak between configurations.
+    .. deprecated:: 1.1
+       Use ``repro.run(app, ...)`` — it accepts the same factory
+       callables, and registered names/classes additionally get
+       parallel execution and result caching.
     """
-    cases: Dict[str, CaseResult] = {}
-    app_name = name
-    for label, _ in four_cases(ClusterConfig()):
-        app = app_factory()
-        if app_name is None:
-            app_name = app.name
-        config = app.cluster_config().with_case(
-            active=label.startswith("active"),
-            prefetch=label.endswith("+pref"))
-        cases[label] = app.run_case(config)
-    return BenchmarkResult(name=app_name, cases=cases)
+    import warnings
+    warnings.warn(
+        "run_four_cases() is deprecated; use repro.run(app, ...) — it "
+        "returns the same result object and adds parallel/cached "
+        "execution for registered apps",
+        DeprecationWarning, stacklevel=2)
+    from ..runner.api import run
+    return run(app_factory, name=name)

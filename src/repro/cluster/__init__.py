@@ -1,6 +1,6 @@
 """Cluster assembly: configuration, nodes, system builder, I/O streams."""
 
-from .config import CASE_ORDER, ClusterConfig, four_cases
+from .config import CASE_ORDER, ClusterConfig, case_configs, four_cases
 from .iostream import BlockArrival, ReadStream, WriteStream
 from .node import ComputeNode, StorageNode
 from .presets import PRESETS, get_preset
@@ -9,6 +9,7 @@ from .system import System
 __all__ = [
     "CASE_ORDER",
     "ClusterConfig",
+    "case_configs",
     "four_cases",
     "BlockArrival",
     "ReadStream",

@@ -85,6 +85,11 @@ class ReadStream:
             # prior activity) has already positioned the heads.
             self.storage.disks.position_heads(base_offset)
         self.num_blocks = -(-total_bytes // request_bytes)
+        # Pure functions of the static configuration, identical for
+        # every block — hoisted out of the produce loop.
+        self._request_path_ps = system.request_path_ps()
+        self._first_tail_ps = system.first_data_tail_ps(to_switch)
+        self._last_tail_ps = system.last_data_tail_ps(to_switch)
         label = f"read-stream:{host.name}->" \
                 f"{'switch' if to_switch else host.name}"
         self._tokens = Container(self.env, capacity=depth, init=depth,
@@ -124,7 +129,7 @@ class ReadStream:
             self._issued += 1
             nbytes = self._block_size(index)
             yield from self._charge_request(nbytes)
-            yield self.env.timeout(self.system.request_path_ps())
+            yield self.env.timeout(self._request_path_ps)
             offset = self.base_offset + index * self.request_bytes
 
             started = self.env.event()
@@ -133,12 +138,11 @@ class ReadStream:
                 name=f"serve-read-{index}")
 
             yield started
-            first_tail = self.system.first_data_tail_ps(self.to_switch)
-            last_tail = self.system.last_data_tail_ps(self.to_switch)
             end_event = self.env.event()
-            self.env.process(self._finish(done, last_tail, end_event, nbytes),
-                             name=f"block-finish-{index}")
-            yield self.env.timeout(first_tail)
+            self.env.process(
+                self._finish(done, self._last_tail_ps, end_event, nbytes),
+                name=f"block-finish-{index}")
+            yield self.env.timeout(self._first_tail_ps)
             arrival = BlockArrival(
                 index=index,
                 offset=offset,
@@ -212,6 +216,8 @@ class WriteStream:
         self.storage = system.storage_nodes[storage_index]
         self.from_switch = from_switch
         self._offset = base_offset
+        # Static per-request control latency, hoisted like ReadStream's.
+        self._request_path_ps = system.request_path_ps()
         label = f"write-stream:{host.name}"
         self._tokens = Container(self.env, capacity=depth, init=depth,
                                  name=f"{label}.tokens")
@@ -245,7 +251,7 @@ class WriteStream:
             self._commit(offset, nbytes), name=f"write-{offset}"))
 
     def _commit(self, offset: int, nbytes: int):
-        yield self.env.timeout(self.system.request_path_ps())
+        yield self.env.timeout(self._request_path_ps)
         yield from self.storage.serve_write(offset, nbytes)
         if not self.from_switch:
             self.host.hca.account_bulk_out(nbytes)

@@ -5,6 +5,12 @@
     python -m repro.experiments              # all, at default scales
     python -m repro.experiments fig09_10_grep table1
     python -m repro.experiments --scale 0.25 fig03_04_mpeg
+    python -m repro.experiments --parallel 4 --cache .repro-cache
+
+``--parallel`` and ``--cache`` configure the experiment harness
+(:mod:`repro.runner`) process-wide, so every four-case experiment fans
+its cells across the worker pool and reuses cached results; outputs are
+bit-identical to the serial path.
 """
 
 from __future__ import annotations
@@ -114,7 +120,21 @@ def main(argv=None) -> int:
     parser.add_argument("--markdown", metavar="PATH", default=None,
                         help="write the full generated markdown report "
                              "and exit")
+    parser.add_argument("--parallel", type=int, default=None, metavar="N",
+                        help="fan experiment cells across N worker "
+                             "processes (results identical to serial)")
+    parser.add_argument("--cache", metavar="DIR", default=None,
+                        help="reuse/store per-cell results in DIR")
     args = parser.parse_args(argv)
+
+    if args.parallel is not None or args.cache is not None:
+        from ..runner.api import configure
+        harness = {}
+        if args.parallel is not None:
+            harness["parallel"] = args.parallel
+        if args.cache is not None:
+            harness["cache"] = args.cache
+        configure(**harness)
 
     if args.markdown:
         from .report_generator import write_report

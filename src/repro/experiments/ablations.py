@@ -286,9 +286,8 @@ def ablate_selectivity(scale: float = 1 / 128,
     """
     rows = []
     for selectivity in selectivities:
-        from ..apps.base import run_four_cases
-        result = run_four_cases(
-            lambda s=selectivity: SelectApp(scale=scale, selectivity=s))
+        from ..runner.api import run
+        result = run("select", scale=scale, selectivity=selectivity)
         rows.append({
             "selectivity": selectivity,
             "traffic_fraction": result.normalized_traffic("active"),
@@ -431,8 +430,8 @@ def ablate_sort_skew(scale: float = 1 / 512,
     dominates the phase, and *both* systems degrade — the active
     switch redistributes in-flight but cannot repartition the ranges.
     """
-    from ..apps.base import run_four_cases
     from ..apps.sort import SortApp
+    from ..runner.api import run
     from ..workloads import datamation, zipf
 
     rows = []
@@ -464,7 +463,9 @@ def ablate_sort_skew(scale: float = 1 / 512,
                 for counts in blocks)
             for node in range(probe.num_nodes)
         ) / (probe.total_records / probe.num_nodes)
-        result = run_four_cases(lambda: SkewedSort())
+        # SkewedSort is a local class closing over the sweep point, so
+        # it goes through run()'s factory path (serial, uncached).
+        result = run(lambda: SkewedSort())
         rows.append({
             "zipf_exponent": exponent,
             "imbalance": imbalance,

@@ -9,16 +9,9 @@ from __future__ import annotations
 
 from typing import Dict
 
-from ..apps.base import run_four_cases
-from ..apps.grep import GrepApp
-from ..apps.hashjoin import HashJoinApp
-from ..apps.md5 import Md5App
-from ..apps.mpeg_filter import MpegFilterApp
 from ..apps.reduction import DISTRIBUTED, REDUCE_TO_ONE, reduction_sweep
-from ..apps.select import SelectApp
-from ..apps.sort import SortApp
-from ..apps.tar import TarApp
 from ..metrics.results import BenchmarkResult
+from ..runner.api import run as _run_benchmark
 from .registry import Experiment, register
 
 
@@ -78,7 +71,7 @@ register(Experiment(
         "active traffic fraction": 0.365,
         "normal / normal+pref": 1.13,
     },
-    run=lambda scale=1.0: run_four_cases(lambda: MpegFilterApp(scale=scale)),
+    run=lambda scale=1.0: _run_benchmark("mpeg", scale=scale),
     measured=lambda r: {
         **_four_case_metrics(r),
         "normal / normal+pref": r.speedup("normal", "normal+pref"),
@@ -109,7 +102,7 @@ register(Experiment(
         "normal+pref host stall frac": 0.276,
         "active+pref host stall frac": 0.161,
     },
-    run=lambda scale=1 / 16: run_four_cases(lambda: HashJoinApp(scale=scale)),
+    run=lambda scale=1 / 16: _run_benchmark("hashjoin", scale=scale),
     measured=_hashjoin_measured,
     default_scale=1 / 16,
     notes=("Paper's 76% traffic reduction counts the S scan only; our "
@@ -139,7 +132,7 @@ register(Experiment(
         "normal/active utilization ratio": 21.0,
         "active+pref speedup (vs normal+pref)": 1.00,
     },
-    run=lambda scale=1 / 16: run_four_cases(lambda: SelectApp(scale=scale)),
+    run=lambda scale=1 / 16: _run_benchmark("select", scale=scale),
     measured=_select_measured,
     default_scale=1 / 16,
 ))
@@ -155,7 +148,7 @@ register(Experiment(
         "active speedup (vs normal)": 1.14,
         "host util active": 0.0,
     },
-    run=lambda scale=1.0: run_four_cases(lambda: GrepApp(scale=scale)),
+    run=lambda scale=1.0: _run_benchmark("grep", scale=scale),
     measured=_four_case_metrics,
 ))
 
@@ -171,7 +164,7 @@ register(Experiment(
         "active traffic fraction": 0.01,  # headers only
         "active+pref speedup (vs normal+pref)": 1.00,
     },
-    run=lambda scale=1.0: run_four_cases(lambda: TarApp(scale=scale)),
+    run=lambda scale=1.0: _run_benchmark("tar", scale=scale),
     measured=_four_case_metrics,
 ))
 
@@ -191,7 +184,7 @@ register(Experiment(
     paper={
         "per-node traffic fraction": 0.40,  # p/(3p-2) at p=4
     },
-    run=lambda scale=1 / 64: run_four_cases(lambda: SortApp(scale=scale)),
+    run=lambda scale=1 / 64: _run_benchmark("sort", scale=scale),
     measured=_sort_measured,
     default_scale=1 / 64,
 ))
@@ -242,7 +235,7 @@ register(Experiment(
 # ----------------------------------------------------------------------
 def _run_md5(scale: float = 1.0):
     return {
-        k: run_four_cases(lambda k=k: Md5App(scale=scale, num_switch_cpus=k))
+        k: _run_benchmark("md5", scale=scale, num_switch_cpus=k)
         for k in (1, 2, 4)
     }
 

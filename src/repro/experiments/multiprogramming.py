@@ -17,8 +17,7 @@ from __future__ import annotations
 
 from typing import Dict, List
 
-from ..apps.base import run_four_cases
-from ..apps.select import SelectApp
+from ..runner.api import run
 from .registry import Experiment, register
 
 #: Background job: operations of 50k host cycles (25 us each).
@@ -27,7 +26,7 @@ BACKGROUND_OP_CYCLES = 50_000
 
 def multiprogramming_throughput(scale: float = 1 / 32) -> List[Dict]:
     """Background ops completable during the scan, per configuration."""
-    result = run_four_cases(lambda: SelectApp(scale=scale))
+    result = run("select", scale=scale)
     rows = []
     for label in ("normal", "normal+pref", "active", "active+pref"):
         case = result.case(label)

@@ -9,7 +9,7 @@ and falls back to cut-through forwarding); this package only decides and
 accounts.
 """
 
-from .injector import FaultInjector, HandlerCrashError
+from .injector import FaultInjector, HandlerCrashError, stream_seed
 from .plan import DiskFaults, FaultPlan, HandlerFaults, LinkFaults, ScsiFaults
 
 __all__ = [
@@ -20,4 +20,5 @@ __all__ = [
     "HandlerFaults",
     "LinkFaults",
     "ScsiFaults",
+    "stream_seed",
 ]

@@ -3,11 +3,14 @@
 A :class:`FaultInjector` turns a :class:`~repro.faults.FaultPlan` into
 concrete per-event decisions ("does *this* packet on *this* link drop?").
 Determinism is the whole point: every component gets its own named
-pseudo-random stream seeded as ``Random(f"{seed}/{component}")``, so a
-decision depends only on ``(seed, component, draw index)`` — never on
-how simulation events from *other* components happen to interleave.
-Re-running the same plan + seed reproduces the identical fault schedule
-bit for bit, which :meth:`fingerprint` makes checkable.
+pseudo-random stream whose seed is :func:`stream_seed` — a SHA-256
+derivation of ``(master seed, component name)`` — so a decision depends
+only on ``(seed, component, draw index)``: never on how simulation
+events from *other* components happen to interleave, and never on
+process identity (interpreter hash randomisation, worker pid, spawn
+order).  Re-running the same plan + seed reproduces the identical fault
+schedule bit for bit — serially, in a pool worker, or from a cached
+cell — which :meth:`fingerprint` makes checkable.
 
 The injector also centralises fault *accounting* (how many drops,
 corruptions, transient errors, and crashes were injected) and exposes a
@@ -26,6 +29,20 @@ from .plan import FaultPlan
 
 class HandlerCrashError(Exception):
     """Injected switch-handler crash (fires at a suspension point)."""
+
+
+def stream_seed(seed: int, component: str) -> int:
+    """The integer seed of one component's pseudo-random stream.
+
+    SHA-256 over ``"{seed}/{component}"`` — a pure function of the
+    master seed and the component name.  Integer seeding of
+    :class:`random.Random` is documented stable arithmetic, so the
+    stream (and hence the fault schedule) is identical in every
+    process: ``PYTHONHASHSEED``, worker identity, and platform `hash`
+    details cannot leak in.
+    """
+    digest = hashlib.sha256(f"{seed}/{component}".encode()).digest()
+    return int.from_bytes(digest, "big")
 
 
 class FaultInjector:
@@ -51,11 +68,9 @@ class FaultInjector:
     # Per-component deterministic streams
     # ------------------------------------------------------------------
     def _stream(self, component: str) -> random.Random:
-        # str seeds hash via sha512 — stable across processes and runs,
-        # unlike object hashes under PYTHONHASHSEED randomisation.
         stream = self._streams.get(component)
         if stream is None:
-            stream = random.Random(f"{self.seed}/{component}")
+            stream = random.Random(stream_seed(self.seed, component))
             self._streams[component] = stream
         return stream
 

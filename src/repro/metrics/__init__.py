@@ -1,6 +1,7 @@
 """Result containers and figure-style reporting."""
 
 from .report import (
+    Report,
     bar_chart,
     breakdown_table,
     comparison_table,
@@ -16,6 +17,7 @@ from .sampling import BusyTracker, TimeWeighted
 __all__ = [
     "BenchmarkResult",
     "CaseResult",
+    "Report",
     "BusyTracker",
     "benchmark_result_rows",
     "benchmark_result_to_csv",

@@ -100,6 +100,51 @@ def reliability_table(result: BenchmarkResult) -> str:
             + render_table(["metric"] + labels, rows))
 
 
+class Report:
+    """All figure-style renderings of one :class:`BenchmarkResult`.
+
+    The preferred reporting API: ``result.report().performance()``
+    instead of the free functions (which remain as the implementation).
+    ``str(report)`` or :meth:`render` concatenates every non-empty
+    section.
+    """
+
+    def __init__(self, result: BenchmarkResult):
+        self.result = result
+
+    def performance(self) -> str:
+        """Normalized time / utilization / traffic per configuration."""
+        return performance_table(self.result)
+
+    def breakdown(self) -> str:
+        """Busy / cache-stall / idle rows per processor."""
+        return breakdown_table(self.result)
+
+    def reliability(self) -> str:
+        """Fault-injection metrics; empty string on fault-free runs."""
+        return reliability_table(self.result)
+
+    def bars(self) -> str:
+        """The three figure metrics as ASCII bar groups."""
+        return performance_bars(self.result)
+
+    def summary(self) -> dict:
+        """Machine-readable figure metrics (per-case dict)."""
+        return self.result.summary()
+
+    def render(self) -> str:
+        """Every non-empty section, blank-line separated."""
+        sections = [self.performance(), self.breakdown(),
+                    self.reliability()]
+        return "\n\n".join(s for s in sections if s)
+
+    def __str__(self) -> str:
+        return self.render()
+
+    def __repr__(self) -> str:
+        return f"<Report {self.result.name!r}>"
+
+
 def comparison_table(name: str,
                      rows: Iterable[Tuple[str, float, Optional[float]]]) -> str:
     """Paper-vs-measured comparison (for EXPERIMENTS.md)."""

@@ -113,3 +113,12 @@ class BenchmarkResult:
             }
             for label in self.cases
         }
+
+    def report(self):
+        """A :class:`~repro.metrics.Report` over this result.
+
+        ``result.report().performance()`` etc.; the unified reporting
+        entry point.
+        """
+        from .report import Report
+        return Report(self)

@@ -1,0 +1,66 @@
+"""Parallel experiment harness with deterministic result caching.
+
+The runner fans the paper's (application x configuration x seed) grid
+across a process pool, caches finished cells on disk keyed by a
+canonical fingerprint of the cluster configuration, application
+parameters, and code version, and reports structured progress.  Results
+are bit-identical whether a cell is simulated serially, simulated in a
+worker process, or restored from cache.
+
+Most callers want :func:`repro.run` (re-exported at top level); the
+pieces here are for building custom sweeps::
+
+    from repro.runner import ExperimentRunner, paper_grid
+
+    runner = ExperimentRunner(parallel=4, cache=True)
+    grid = runner.run_grid(paper_grid(scale=0.5))
+
+Run the whole paper grid from the shell::
+
+    python -m repro.runner --parallel 4 --cache .repro-cache
+"""
+
+from .api import RunResult, configure, run, run_many
+from .cache import ResultCache, decode_case, default_cache_dir, encode_case
+from .fingerprint import FingerprintError, canonicalize, code_version, fingerprint
+from .harness import (
+    CASE_LABELS,
+    Cell,
+    ExperimentRunner,
+    RunnerError,
+    cell_config,
+    cell_key,
+    run_cell,
+)
+from .progress import CellEvent, Progress, make_progress
+from .spec import APP_REGISTRY, AppSpec, make_spec, paper_grid, register_app
+
+__all__ = [
+    "APP_REGISTRY",
+    "AppSpec",
+    "CASE_LABELS",
+    "Cell",
+    "CellEvent",
+    "ExperimentRunner",
+    "FingerprintError",
+    "Progress",
+    "ResultCache",
+    "RunResult",
+    "RunnerError",
+    "canonicalize",
+    "cell_config",
+    "cell_key",
+    "code_version",
+    "configure",
+    "decode_case",
+    "default_cache_dir",
+    "encode_case",
+    "fingerprint",
+    "make_progress",
+    "make_spec",
+    "paper_grid",
+    "register_app",
+    "run",
+    "run_cell",
+    "run_many",
+]

@@ -1,0 +1,192 @@
+"""The unified ``repro.run()`` front door.
+
+One call runs any registered application through the harness::
+
+    import repro
+
+    result = repro.run("grep", scale=0.25)             # serial
+    result = repro.run("grep", scale=0.25, parallel=4) # process pool
+    result = repro.run("grep", scale=0.25, cache=True) # cached
+
+``run`` returns a :class:`RunResult` — a
+:class:`~repro.metrics.BenchmarkResult` carrying harness statistics and
+the :meth:`~repro.metrics.BenchmarkResult.report` accessor — and is
+deterministic: serial, parallel, and cache-restored invocations produce
+field-identical results.
+
+:func:`configure` sets process-wide defaults (picked up by the
+experiment registry, so ``python -m repro.experiments --parallel N``
+routes every figure through the same pool).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Sequence
+
+from ..metrics.results import BenchmarkResult, CaseResult
+from .harness import CASE_LABELS, ExperimentRunner
+from .progress import Progress
+from .spec import AppSpec, make_spec
+
+#: Process-wide defaults applied when ``run()`` arguments are ``None``.
+_DEFAULTS: Dict[str, object] = {
+    "parallel": 1,
+    "cache": None,
+    "show_progress": False,
+    "start_method": None,
+}
+
+
+def configure(**defaults) -> Dict[str, object]:
+    """Set process-wide harness defaults; returns the effective set.
+
+    Recognized keys: ``parallel``, ``cache``, ``show_progress``,
+    ``start_method``.  ``python -m repro.experiments --parallel N``
+    calls this once so every registered experiment inherits the pool.
+    """
+    unknown = set(defaults) - set(_DEFAULTS)
+    if unknown:
+        raise TypeError(f"unknown configure() keys: {sorted(unknown)}")
+    _DEFAULTS.update(defaults)
+    return dict(_DEFAULTS)
+
+
+def _default(name: str, value):
+    return _DEFAULTS[name] if value is None else value
+
+
+@dataclass
+class RunResult(BenchmarkResult):
+    """A :class:`BenchmarkResult` plus harness bookkeeping.
+
+    ``stats`` records how the cells were obtained (simulated vs cache
+    hits, wall-clock, worker count); the measured data is exactly what
+    the equivalent serial run produces.
+    """
+
+    stats: Dict[str, object] = field(default_factory=dict)
+
+    @classmethod
+    def from_benchmark(cls, result: BenchmarkResult,
+                       stats: Optional[Dict[str, object]] = None
+                       ) -> "RunResult":
+        return cls(name=result.name, cases=dict(result.cases),
+                   stats=dict(stats or {}))
+
+
+def run(app, cases: Optional[Sequence[str]] = None, *,
+        parallel: Optional[int] = None,
+        cache=None,
+        seed: Optional[int] = None,
+        preset: Optional[str] = None,
+        overrides: Optional[dict] = None,
+        name: Optional[str] = None,
+        show_progress: Optional[bool] = None,
+        progress: Optional[Progress] = None,
+        **params) -> RunResult:
+    """Run ``app`` through the experiment harness.
+
+    Parameters
+    ----------
+    app:
+        A registered application name (``"grep"``), a ``module:Class``
+        path, a :class:`~repro.apps.StreamApp` subclass, an
+        :class:`AppSpec`, or — for compatibility with the old
+        ``run_four_cases`` API — a zero-argument factory callable
+        (factories cannot be fingerprinted or pickled, so they always
+        run serially and uncached).
+    cases:
+        Case labels to run; defaults to all four paper configurations.
+    parallel, cache, show_progress:
+        Override the :func:`configure` defaults for this call.
+    seed:
+        Master-seed override applied to every case's configuration.
+    preset, overrides, ``**params``:
+        Forwarded to :func:`make_spec` (technology preset, flat config
+        overrides, app constructor parameters).
+    """
+    parallel = _default("parallel", parallel)
+    cache = _default("cache", cache)
+    show_progress = _default("show_progress", show_progress)
+
+    if callable(app) and not isinstance(app, type):
+        if params or preset or overrides:
+            raise TypeError(
+                "factory callables take no spec parameters; pass a "
+                "registered name or application class instead")
+        return _run_factory(app, cases=cases, seed=seed, name=name)
+
+    spec = make_spec(app, preset=preset, overrides=overrides, **params)
+    runner = ExperimentRunner(
+        parallel=parallel, cache=cache, progress=progress,
+        show_progress=show_progress,
+        start_method=_DEFAULTS["start_method"])  # type: ignore[arg-type]
+    result = runner.run_app(spec, cases=cases, seed=seed, name=name)
+    cache = runner.cache  # may be empty, hence len()==0 and falsy
+    stats = {
+        "parallel": runner.parallel,
+        "cache_dir": str(cache.root) if cache is not None else None,
+        "cache_hits": cache.hits if cache is not None else 0,
+        "spec": spec,
+    }
+    return RunResult.from_benchmark(result, stats)
+
+
+def _run_factory(app_factory, cases: Optional[Sequence[str]],
+                 seed: Optional[int], name: Optional[str]) -> RunResult:
+    """Old-API path: fresh app per case, serial, uncached."""
+    from dataclasses import replace
+
+    labels = tuple(cases) if cases is not None else CASE_LABELS
+    results: Dict[str, CaseResult] = {}
+    app_name = name
+    for label in labels:
+        instance = app_factory()
+        if app_name is None:
+            app_name = instance.name
+        config = instance.cluster_config()
+        if seed is not None:
+            config = replace(config, seed=seed)
+        config = config.with_case(active=label.startswith("active"),
+                                  prefetch=label.endswith("+pref"))
+        results[label] = instance.run_case(config)
+    return RunResult(name=app_name or "benchmark", cases=results,
+                     stats={"parallel": 1, "cache_dir": None,
+                            "cache_hits": 0, "spec": None})
+
+
+def run_many(specs: Sequence, *,
+             parallel: Optional[int] = None,
+             cache=None,
+             cases: Optional[Sequence[str]] = None,
+             seeds: Sequence[Optional[int]] = (None,),
+             show_progress: Optional[bool] = None,
+             progress: Optional[Progress] = None) -> Dict[str, RunResult]:
+    """Run several applications through one shared pool.
+
+    ``specs`` items pass through :func:`make_spec`; the return maps each
+    spec's label to its :class:`RunResult`.  With multiple ``seeds`` the
+    key becomes ``"label#seed"``.
+    """
+    parallel = _default("parallel", parallel)
+    cache = _default("cache", cache)
+    show_progress = _default("show_progress", show_progress)
+    resolved = [make_spec(spec) if not isinstance(spec, AppSpec) else spec
+                for spec in specs]
+    runner = ExperimentRunner(
+        parallel=parallel, cache=cache, progress=progress,
+        show_progress=show_progress,
+        start_method=_DEFAULTS["start_method"])  # type: ignore[arg-type]
+    grid = runner.run_grid(resolved, cases=cases, seeds=seeds)
+    out: Dict[str, RunResult] = {}
+    for (label, seed), bench in grid.items():
+        key = label if seed is None and len(tuple(seeds)) == 1 else \
+            f"{label}#{seed}"
+        out[key] = RunResult.from_benchmark(bench, {
+            "parallel": runner.parallel,
+            "cache_dir": (str(runner.cache.root)
+                          if runner.cache is not None else None),
+            "seed": seed,
+        })
+    return out

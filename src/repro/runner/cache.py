@@ -1,0 +1,132 @@
+"""On-disk result cache with a lossless :class:`CaseResult` codec.
+
+A cache entry is one JSON file named by the cell's fingerprint (see
+:mod:`repro.runner.fingerprint`).  The codec is exact: every field of
+:class:`~repro.metrics.CaseResult` (and its nested
+:class:`~repro.cpu.accounting.Breakdown` values) is an ``int``, ``str``
+or ``float``, all of which round-trip bit-identically through JSON —
+so a cache hit restores the very result the simulation produced, and
+the determinism suite can compare restored results field by field.
+
+Writes are atomic (temp file + rename), so concurrent workers warming
+the same cache directory can never leave a torn entry behind.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Dict, Optional
+
+from ..cpu.accounting import Breakdown
+from ..metrics.results import CaseResult
+
+#: Bump when the entry layout changes; mismatched entries are misses.
+CACHE_FORMAT = 1
+
+#: Environment variable naming the default cache directory.
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+#: Fallback default, relative to the working directory.
+DEFAULT_CACHE_DIR = ".repro-cache"
+
+
+def default_cache_dir() -> Path:
+    """The cache directory used when callers say ``cache=True``."""
+    return Path(os.environ.get(CACHE_DIR_ENV, DEFAULT_CACHE_DIR))
+
+
+# ----------------------------------------------------------------------
+# Lossless CaseResult codec
+# ----------------------------------------------------------------------
+def encode_breakdown(breakdown: Breakdown) -> dict:
+    return {"label": breakdown.label, "exec_ps": breakdown.exec_ps,
+            "busy_ps": breakdown.busy_ps, "stall_ps": breakdown.stall_ps}
+
+
+def decode_breakdown(data: dict) -> Breakdown:
+    return Breakdown(label=data["label"], exec_ps=data["exec_ps"],
+                     busy_ps=data["busy_ps"], stall_ps=data["stall_ps"])
+
+
+def encode_case(case: CaseResult) -> dict:
+    """``CaseResult`` -> plain JSON-able dict (exact, no rounding)."""
+    return {
+        "label": case.label,
+        "exec_ps": case.exec_ps,
+        "host": encode_breakdown(case.host),
+        "switch_cpus": [encode_breakdown(b) for b in case.switch_cpus],
+        "host_bytes_in": case.host_bytes_in,
+        "host_bytes_out": case.host_bytes_out,
+        "extra": dict(case.extra),
+    }
+
+
+def decode_case(data: dict) -> CaseResult:
+    """Inverse of :func:`encode_case` — bit-identical restore."""
+    return CaseResult(
+        label=data["label"],
+        exec_ps=data["exec_ps"],
+        host=decode_breakdown(data["host"]),
+        switch_cpus=[decode_breakdown(b) for b in data["switch_cpus"]],
+        host_bytes_in=data["host_bytes_in"],
+        host_bytes_out=data["host_bytes_out"],
+        extra=dict(data["extra"]),
+    )
+
+
+class ResultCache:
+    """Content-addressed store of finished experiment cells."""
+
+    def __init__(self, root) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.hits = 0
+        self.misses = 0
+
+    def _path(self, key: str) -> Path:
+        return self.root / f"{key}.json"
+
+    def get(self, key: str) -> Optional[CaseResult]:
+        """The cached result for ``key``, or ``None`` on a miss."""
+        path = self._path(key)
+        try:
+            entry = json.loads(path.read_text())
+        except (OSError, ValueError):
+            self.misses += 1
+            return None
+        if entry.get("format") != CACHE_FORMAT:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return decode_case(entry["case"])
+
+    def put(self, key: str, case: CaseResult,
+            meta: Optional[Dict[str, object]] = None) -> Path:
+        """Store ``case`` under ``key`` atomically; returns the path."""
+        path = self._path(key)
+        entry = {"format": CACHE_FORMAT, "case": encode_case(case),
+                 "meta": dict(meta or {})}
+        handle = tempfile.NamedTemporaryFile(
+            "w", dir=str(self.root), prefix=".tmp-", suffix=".json",
+            delete=False)
+        try:
+            with handle:
+                json.dump(entry, handle, sort_keys=True)
+            os.replace(handle.name, path)
+        except BaseException:
+            try:
+                os.unlink(handle.name)
+            except OSError:
+                pass
+            raise
+        return path
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.root.glob("*.json"))
+
+    def __repr__(self) -> str:
+        return (f"<ResultCache {self.root} hits={self.hits} "
+                f"misses={self.misses}>")

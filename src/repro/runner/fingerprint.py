@@ -1,0 +1,89 @@
+"""Canonical fingerprints for experiment cells.
+
+A cache key must identify a simulation *exactly*: the same key must
+always restore bit-identical results, and any change that could alter a
+result must change the key.  Three ingredients go in:
+
+* the **cell identity** — app spec (class, constructor parameters,
+  preset, config overrides), case label, and seed;
+* the **cluster configuration** — every :class:`ClusterConfig` field,
+  canonicalized recursively through its nested dataclasses (fault
+  plans included);
+* the **code version** — a digest over the ``repro`` package sources,
+  so editing any model invalidates every cached result.
+
+Canonicalization is deliberately strict: only plain data (dataclasses,
+dicts, sequences, scalars) is accepted.  Anything else — lambdas,
+open files, arbitrary objects — raises :class:`FingerprintError`, which
+the harness treats as "uncacheable, run serial".
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+from pathlib import Path
+from typing import Any, Optional
+
+
+class FingerprintError(TypeError):
+    """A value that cannot be canonically fingerprinted."""
+
+
+def canonicalize(value: Any) -> Any:
+    """Reduce ``value`` to a canonical JSON-able structure.
+
+    Floats canonicalize through ``repr`` (shortest round-tripping
+    form), dict keys sort, tuples and lists unify, and dataclasses
+    carry their qualified type name so two configs of different types
+    with equal fields never collide.
+    """
+    if value is None or isinstance(value, (bool, int, str)):
+        return value
+    if isinstance(value, float):
+        return ["f", repr(value)]
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        fields = [[f.name, canonicalize(getattr(value, f.name))]
+                  for f in dataclasses.fields(value)]
+        return ["dc", f"{type(value).__module__}.{type(value).__qualname__}",
+                fields]
+    if isinstance(value, dict):
+        items = sorted((str(k), canonicalize(v)) for k, v in value.items())
+        return ["map", [list(pair) for pair in items]]
+    if isinstance(value, (list, tuple)):
+        return ["seq", [canonicalize(item) for item in value]]
+    if isinstance(value, (bytes, bytearray)):
+        return ["b", bytes(value).hex()]
+    raise FingerprintError(
+        f"cannot fingerprint {type(value).__qualname__}: {value!r}")
+
+
+def fingerprint(*parts: Any) -> str:
+    """SHA-256 hex digest of the canonical form of ``parts``."""
+    canonical = json.dumps([canonicalize(part) for part in parts],
+                           separators=(",", ":"), sort_keys=True)
+    return hashlib.sha256(canonical.encode()).hexdigest()
+
+
+_CODE_VERSION: Optional[str] = None
+
+
+def code_version() -> str:
+    """Digest of every ``repro`` source file (cached per process).
+
+    Two processes running the same checkout agree on this value; any
+    source edit changes it, invalidating the whole result cache.
+    """
+    global _CODE_VERSION
+    if _CODE_VERSION is None:
+        import repro
+        root = Path(repro.__file__).resolve().parent
+        digest = hashlib.sha256()
+        for path in sorted(root.rglob("*.py")):
+            digest.update(str(path.relative_to(root)).encode())
+            digest.update(b"\0")
+            digest.update(path.read_bytes())
+            digest.update(b"\0")
+        _CODE_VERSION = digest.hexdigest()[:20]
+    return _CODE_VERSION

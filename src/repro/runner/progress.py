@@ -1,0 +1,95 @@
+"""Structured progress and ETA reporting for grid runs.
+
+The harness emits one :class:`CellEvent` per finished cell; a
+:class:`Progress` consumer keeps running totals, estimates time to
+completion from the mean cost of the cells finished so far (cache hits
+excluded — they are effectively free and would bias the estimate), and
+optionally prints one status line per event.  Everything is plain data,
+so front ends other than the bundled printer (CI logs, notebooks) can
+subscribe with ``on_event``.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+
+@dataclass(frozen=True)
+class CellEvent:
+    """One grid cell finished (simulated or restored from cache)."""
+
+    index: int
+    total: int
+    app: str
+    case: str
+    elapsed_s: float
+    cached: bool
+    exec_ps: int
+
+
+@dataclass
+class Progress:
+    """Aggregates cell events; optionally narrates to a stream."""
+
+    total: int
+    stream: Optional[object] = None
+    on_event: Optional[Callable[[CellEvent], None]] = None
+    events: List[CellEvent] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        self._started = time.monotonic()
+
+    @property
+    def done(self) -> int:
+        return len(self.events)
+
+    @property
+    def cache_hits(self) -> int:
+        return sum(1 for e in self.events if e.cached)
+
+    @property
+    def elapsed_s(self) -> float:
+        return time.monotonic() - self._started
+
+    def eta_s(self) -> Optional[float]:
+        """Estimated seconds to completion, ``None`` before any sample."""
+        simulated = [e.elapsed_s for e in self.events if not e.cached]
+        remaining = self.total - self.done
+        if remaining <= 0:
+            return 0.0
+        if not simulated:
+            return None
+        return remaining * (sum(simulated) / len(simulated))
+
+    def record(self, event: CellEvent) -> None:
+        self.events.append(event)
+        if self.on_event is not None:
+            self.on_event(event)
+        if self.stream is not None:
+            eta = self.eta_s()
+            eta_text = "?" if eta is None else f"{eta:.0f}s"
+            source = "cache" if event.cached else f"{event.elapsed_s:.1f}s"
+            print(f"[runner {self.done:>{len(str(self.total))}}/{self.total}] "
+                  f"{event.app}/{event.case}: {source}  ETA {eta_text}",
+                  file=self.stream, flush=True)
+
+    def summary(self) -> dict:
+        """Machine-readable totals for reports and the CLI's ``--json``."""
+        return {
+            "cells": self.total,
+            "completed": self.done,
+            "cache_hits": self.cache_hits,
+            "simulated": self.done - self.cache_hits,
+            "elapsed_s": self.elapsed_s,
+        }
+
+
+def make_progress(total: int, show: bool = False,
+                  on_event: Optional[Callable[[CellEvent], None]] = None
+                  ) -> Progress:
+    """A :class:`Progress` printing to stderr when ``show`` is true."""
+    return Progress(total=total, stream=sys.stderr if show else None,
+                    on_event=on_event)

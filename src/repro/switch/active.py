@@ -413,10 +413,11 @@ class ActiveSwitch(BaseSwitch):
                         self.name, handler_id, invocation)
             # Header to the dispatch unit, in parallel with the copy.
             cpu = self.scheduler.pick(packet.active.cpu_id)
-            self.tracer.record(self.env.now, "dispatch",
-                               switch=self.name,
-                               handler_id=handler_id,
-                               cpu=cpu.cpu_id, src=packet.src)
+            if self.tracer.enabled:
+                self.tracer.record(self.env.now, "dispatch",
+                                   switch=self.name,
+                                   handler_id=handler_id,
+                                   cpu=cpu.cpu_id, src=packet.src)
             self._msg_cpu[packet.message_id] = cpu
             yield from stage_payload(cpu, packet.active.address)
             total = (packet.message_bytes if packet.message_bytes is not None

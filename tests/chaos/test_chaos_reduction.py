@@ -68,7 +68,9 @@ def test_faults_cost_latency_but_never_bytes():
                             switch_ports=16, hca_config=REDUCTION_HCA)
     clean = run_active_reduction(clean_tree, vectors, REDUCE_TO_ONE)
 
-    tree, injector = _lossy_tree(16, seed=11)
+    # Seed chosen so the schedule puts retransmissions on the critical
+    # path (some seeds inject only off-path faults, which cost nothing).
+    tree, injector = _lossy_tree(16, seed=5)
     faulty = run_active_reduction(tree, vectors, REDUCE_TO_ONE)
     assert faulty.result_vector == clean.result_vector == _oracle(vectors)
     assert injector.total_injected > 0

@@ -1,0 +1,75 @@
+"""Canonical fingerprinting: stability, sensitivity, strictness."""
+
+from dataclasses import dataclass
+
+import pytest
+
+from repro.cluster import ClusterConfig
+from repro.runner.fingerprint import (FingerprintError, canonicalize,
+                                      code_version, fingerprint)
+
+
+@dataclass(frozen=True)
+class PointA:
+    x: int = 1
+    y: float = 2.0
+
+
+@dataclass(frozen=True)
+class PointB:
+    x: int = 1
+    y: float = 2.0
+
+
+def test_scalars_pass_through():
+    assert canonicalize(None) is None
+    assert canonicalize(True) is True
+    assert canonicalize(42) == 42
+    assert canonicalize("s") == "s"
+
+
+def test_floats_distinct_from_ints():
+    assert fingerprint(1) != fingerprint(1.0)
+
+
+def test_float_canonical_form_is_repr():
+    assert canonicalize(0.1) == ["f", repr(0.1)]
+    # repr round-trips exactly, so equal floats always agree.
+    assert fingerprint(1e300) == fingerprint(float("1e300"))
+
+
+def test_dict_key_order_is_irrelevant():
+    assert fingerprint({"a": 1, "b": 2}) == fingerprint({"b": 2, "a": 1})
+
+
+def test_sequences_unify():
+    assert fingerprint([1, 2, 3]) == fingerprint((1, 2, 3))
+
+
+def test_dataclass_type_name_prevents_collisions():
+    assert fingerprint(PointA()) != fingerprint(PointB())
+    assert fingerprint(PointA()) == fingerprint(PointA(x=1, y=2.0))
+    assert fingerprint(PointA()) != fingerprint(PointA(x=2))
+
+
+def test_cluster_config_fingerprints_recursively():
+    base = ClusterConfig()
+    assert fingerprint(base) == fingerprint(ClusterConfig())
+    assert fingerprint(base) != fingerprint(
+        base.with_case(active=True, prefetch=False))
+    seeded = ClusterConfig(seed=base.seed + 1)
+    assert fingerprint(base) != fingerprint(seeded)
+
+
+def test_uncacheable_values_raise():
+    with pytest.raises(FingerprintError):
+        canonicalize(lambda: None)
+    with pytest.raises(FingerprintError):
+        fingerprint(object())
+
+
+def test_code_version_is_stable_and_short():
+    first = code_version()
+    assert first == code_version()
+    assert len(first) == 20
+    int(first, 16)  # hex digest prefix

@@ -1,0 +1,79 @@
+"""On-disk result cache: lossless codec, atomicity, format checks."""
+
+import json
+
+from repro.cpu.accounting import Breakdown
+from repro.metrics.results import CaseResult
+from repro.runner.cache import (CACHE_FORMAT, ResultCache, decode_case,
+                                encode_case)
+
+
+def sample_case(label="active+pref") -> CaseResult:
+    return CaseResult(
+        label=label,
+        exec_ps=123_456_789_012_345,
+        host=Breakdown(label="HP", exec_ps=123_456_789_012_345,
+                       busy_ps=11_111, stall_ps=222_222),
+        switch_cpus=[
+            Breakdown(label="SP0", exec_ps=123_456_789_012_345,
+                      busy_ps=987_654_321, stall_ps=0),
+            Breakdown(label="SP1", exec_ps=123_456_789_012_345,
+                      busy_ps=3, stall_ps=7),
+        ],
+        host_bytes_in=1 << 40,
+        host_bytes_out=17,
+        extra={"matches": 16, "ratio": 0.30000000000000004},
+    )
+
+
+def test_codec_round_trips_exactly():
+    case = sample_case()
+    restored = decode_case(encode_case(case))
+    assert restored == case
+    # Float fields survive bit-identically (no rounding in the codec).
+    assert repr(restored.extra["ratio"]) == repr(case.extra["ratio"])
+
+
+def test_codec_survives_json():
+    case = sample_case()
+    wire = json.loads(json.dumps(encode_case(case)))
+    assert decode_case(wire) == case
+
+
+def test_put_get_and_counters(tmp_path):
+    cache = ResultCache(tmp_path / "c")
+    assert cache.get("missing") is None
+    assert (cache.hits, cache.misses) == (0, 1)
+    case = sample_case()
+    cache.put("k1", case, meta={"app": "grep"})
+    assert cache.get("k1") == case
+    assert (cache.hits, cache.misses) == (1, 1)
+    assert len(cache) == 1
+
+
+def test_put_is_atomic_no_temp_litter(tmp_path):
+    cache = ResultCache(tmp_path)
+    cache.put("k1", sample_case())
+    cache.put("k1", sample_case())  # overwrite is fine
+    leftovers = [p.name for p in tmp_path.iterdir()
+                 if p.name.startswith(".tmp-")]
+    assert leftovers == []
+    assert len(cache) == 1
+
+
+def test_format_mismatch_is_a_miss(tmp_path):
+    cache = ResultCache(tmp_path)
+    path = cache.put("k1", sample_case())
+    entry = json.loads(path.read_text())
+    assert entry["format"] == CACHE_FORMAT
+    entry["format"] = CACHE_FORMAT + 1
+    path.write_text(json.dumps(entry))
+    assert cache.get("k1") is None
+
+
+def test_corrupt_entry_is_a_miss(tmp_path):
+    cache = ResultCache(tmp_path)
+    path = cache.put("k1", sample_case())
+    path.write_text("{truncated")
+    assert cache.get("k1") is None
+    assert cache.misses == 1

@@ -1,0 +1,74 @@
+"""AppSpec normalization, registry resolution, and the paper grid."""
+
+import pytest
+
+from repro.apps.grep import GrepApp
+from repro.cluster.presets import get_preset
+from repro.runner.spec import (APP_REGISTRY, AppSpec, make_spec, paper_grid,
+                               register_app, resolve_app)
+
+
+def test_make_spec_sorts_params():
+    a = make_spec("grep", scale=0.5, preset=None)
+    b = make_spec("grep", scale=0.5)
+    assert a == b
+    assert make_spec("md5", scale=1.0, num_switch_cpus=2).params == (
+        ("num_switch_cpus", 2), ("scale", 1.0))
+
+
+def test_label_hides_scale_shows_other_params():
+    assert make_spec("grep", scale=0.5).label == "grep"
+    assert (make_spec("md5", scale=1.0, num_switch_cpus=4).label
+            == "md5[num_switch_cpus=4]")
+
+
+def test_spec_passthrough_forbids_extra_params():
+    spec = make_spec("grep", scale=0.5)
+    assert make_spec(spec) is spec
+    with pytest.raises(ValueError):
+        make_spec(spec, scale=1.0)
+
+
+def test_class_registration_roundtrip():
+    spec = make_spec(GrepApp, scale=0.05)
+    assert resolve_app(spec.app) is GrepApp
+    assert isinstance(spec.build(), GrepApp)
+
+
+def test_register_app_validates_path():
+    with pytest.raises(ValueError):
+        register_app("bad", "no_colon_here")
+
+
+def test_resolve_unknown_app_raises():
+    with pytest.raises(KeyError):
+        resolve_app("not-an-app")
+
+
+def test_paper_grid_shape():
+    grid = paper_grid()
+    assert len(grid) == 9
+    labels = [spec.label for spec in grid]
+    assert labels.count("md5") == 1
+    assert "md5[num_switch_cpus=2]" in labels
+    assert "md5[num_switch_cpus=4]" in labels
+    assert all(name in APP_REGISTRY for name in
+               {spec.app for spec in grid})
+
+
+def test_base_config_preset_merge_keeps_app_topology():
+    spec = make_spec("md5", scale=0.1, num_switch_cpus=4,
+                     preset="fast_storage")
+    config = spec.base_config()
+    # App-owned topology survives the preset...
+    assert config.num_switch_cpus == 4
+    # ...while the preset's technology point applies.
+    preset = get_preset("fast_storage")
+    assert config.disk == preset.disk
+
+
+def test_overrides_apply_last():
+    plain = make_spec("grep", scale=0.1).base_config()
+    spec = make_spec("grep", scale=0.1,
+                     overrides={"seed": plain.seed + 7})
+    assert spec.base_config().seed == plain.seed + 7

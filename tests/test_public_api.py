@@ -18,11 +18,13 @@ PACKAGES = [
     "repro.workloads",
     "repro.metrics",
     "repro.experiments",
+    "repro.faults",
+    "repro.runner",
 ]
 
 
 def test_version():
-    assert repro.__version__ == "1.0.0"
+    assert repro.__version__ == "1.1.0"
 
 
 @pytest.mark.parametrize("package", PACKAGES)
@@ -65,10 +67,37 @@ def test_public_classes_have_docstrings():
 
 def test_quickstart_snippet_from_readme():
     """The README's Python snippet must actually run."""
-    from repro.apps import GrepApp, run_four_cases
-    from repro.metrics import breakdown_table, performance_table
-
-    result = run_four_cases(lambda: GrepApp(scale=0.1))
-    assert "grep" in performance_table(result)
-    assert "n-HP" in breakdown_table(result)
+    result = repro.run("grep", scale=0.1)
+    report = result.report()
+    assert "grep" in report.performance()
+    assert "n-HP" in report.breakdown()
     assert result.active_speedup > 0
+
+
+def test_four_cases_shim_warns_and_forwards():
+    from repro.cluster import ClusterConfig, case_configs, four_cases
+
+    base = ClusterConfig()
+    with pytest.warns(DeprecationWarning, match="four_cases"):
+        legacy = four_cases(base)
+    assert legacy == case_configs(base)
+
+
+def test_run_four_cases_shim_warns_and_forwards():
+    from repro.apps import GrepApp, run_four_cases
+
+    with pytest.warns(DeprecationWarning, match="run_four_cases"):
+        legacy = run_four_cases(lambda: GrepApp(scale=0.05))
+    direct = repro.run(lambda: GrepApp(scale=0.05))
+    assert legacy.name == "grep"
+    assert set(legacy.cases) == set(direct.cases)
+    for label, case in direct.cases.items():
+        assert legacy.case(label) == case
+
+
+def test_runner_exports_are_authoritative():
+    for name in ("run", "run_many", "configure", "paper_grid", "make_spec",
+                 "AppSpec", "ExperimentRunner", "ResultCache", "RunResult",
+                 "Tracer", "Report"):
+        assert name in repro.__all__, name
+        assert hasattr(repro, name)

@@ -53,7 +53,8 @@ def test_tutorial_section_1_and_2_redactor_fabric():
 
 
 def test_tutorial_section_3_redactor_app():
-    from repro.apps.base import BlockWork, StreamApp, run_four_cases
+    import repro
+    from repro.apps.base import BlockWork, StreamApp
 
     class RedactorApp(StreamApp):
         name = "redactor"
@@ -76,7 +77,7 @@ def test_tutorial_section_3_redactor_app():
                     active_host_cycles=0,
                 ))
 
-    result = run_four_cases(lambda: RedactorApp(scale=0.125))
+    result = repro.run(lambda: RedactorApp(scale=0.125))
     # The tutorial's sanity checks.
     assert (result.case("normal+pref").exec_ps
             <= result.case("normal").exec_ps)
