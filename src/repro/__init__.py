@@ -17,6 +17,9 @@ Layers (each usable on its own):
 * :mod:`repro.apps` — the paper's nine benchmarks;
 * :mod:`repro.runner` — parallel experiment harness with deterministic
   result caching (``python -m repro.runner``);
+* :mod:`repro.obs` — observability: structured tracing with Chrome
+  ``trace_event``/CSV/terminal exporters and the metrics registry
+  (``repro.run(..., trace=True)``);
 * :mod:`repro.experiments` — every table/figure, runnable
   (``python -m repro.experiments [--parallel N]``).
 
@@ -58,6 +61,13 @@ from .metrics import (
     performance_table,
     reliability_table,
 )
+from .obs import (
+    MetricsRegistry,
+    TraceCollector,
+    TraceEvent,
+    load_chrome_trace,
+    write_chrome_trace,
+)
 from .runner import (
     AppSpec,
     ExperimentRunner,
@@ -73,7 +83,7 @@ from .runner import (
 from .sim import Environment, Tracer
 from .switch import ActiveSwitch, ActiveSwitchConfig, BaseSwitch
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 #: Authoritative public surface: `import *`, the docs' API reference,
 #: and tests/test_public_api.py all derive from this list.
@@ -112,9 +122,15 @@ __all__ = [
     "breakdown_table",
     "performance_table",
     "reliability_table",
+    # Observability
+    "MetricsRegistry",
+    "TraceCollector",
+    "TraceEvent",
+    "load_chrome_trace",
+    "write_chrome_trace",
     # Simulation kernel
     "Environment",
-    "Tracer",
+    "Tracer",  # deprecated: superseded by repro.obs (see docs/observability.md)
     # Switch models
     "ActiveSwitch",
     "ActiveSwitchConfig",

@@ -39,6 +39,12 @@ def main(argv=None) -> int:
                         help="worker processes for the four cases")
     parser.add_argument("--cache", metavar="DIR", default=None,
                         help="reuse/store per-case results in DIR")
+    parser.add_argument("--trace", action="store_true",
+                        help="record structured traces and print the "
+                             "terminal timelines (forces serial, uncached)")
+    parser.add_argument("--trace-out", metavar="FILE", default=None,
+                        help="write the Chrome trace_event JSON "
+                             "(Perfetto-loadable) to FILE; implies --trace")
     parser.add_argument("--list", action="store_true",
                         help="list available benchmarks")
     args = parser.parse_args(argv)
@@ -55,13 +61,21 @@ def main(argv=None) -> int:
         params["num_switch_cpus"] = args.switch_cpus
     preset = None if args.preset == "paper_2003" else args.preset
 
+    trace = args.trace_out if args.trace_out else (args.trace or None)
     result = run(args.app, parallel=args.parallel, cache=args.cache,
-                 preset=preset, **params)
+                 preset=preset, trace=trace, **params)
     report = result.report()
     print(report.performance())
     print()
     print(report.breakdown())
     print()
+    if trace:
+        timeline = report.timeline()
+        if timeline:
+            print(timeline)
+            print()
+        if args.trace_out:
+            print(f"trace written to {args.trace_out}", file=sys.stderr)
     print(f"active speedup (vs normal):           {result.active_speedup:.3f}")
     print(f"active+pref speedup (vs normal+pref): "
           f"{result.active_pref_speedup:.3f}")

@@ -169,8 +169,18 @@ class StreamApp:
     # ------------------------------------------------------------------
     # Entry point for one configuration
     # ------------------------------------------------------------------
-    def run_case(self, config: ClusterConfig) -> CaseResult:
+    def run_case(self, config: ClusterConfig,
+                 trace=None) -> CaseResult:
+        """Run one configuration.
+
+        ``trace`` is an optional ``repro.obs.TraceCollector``; when given,
+        every instrumented component emits structured events into it for
+        the duration of the case.  The returned :class:`CaseResult` is
+        identical either way — traces never feed back into results.
+        """
         system = System(config)
+        if trace is not None:
+            system.attach_trace(trace)
         # Failure context: a wedged run's DeadlockError/WatchdogError
         # names the benchmark and configuration it happened in.
         system.env.add_context(app=self.name, config=config.case_label)

@@ -128,8 +128,11 @@ class SortApp:
             yield from stream.done_with(arrival)
 
     # ------------------------------------------------------------------
-    def run_case(self, config: ClusterConfig) -> CaseResult:
+    def run_case(self, config: ClusterConfig,
+                 trace=None) -> CaseResult:
         system = System(config)
+        if trace is not None:
+            system.attach_trace(trace)
         env = system.env
         runner = self._node_active if config.active else self._node_normal
         procs = [env.process(runner(system, node, config.prefetch_depth),

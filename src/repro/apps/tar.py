@@ -198,8 +198,11 @@ class TarApp:
         yield env.all_of([host_proc, switch_proc])
 
     # ------------------------------------------------------------------
-    def run_case(self, config: ClusterConfig) -> CaseResult:
+    def run_case(self, config: ClusterConfig,
+                 trace=None) -> CaseResult:
         system = System(config)
+        if trace is not None:
+            system.attach_trace(trace)
         runner = (self.run_active(system, config.prefetch_depth)
                   if config.active
                   else self.run_normal(system, config.prefetch_depth))

@@ -128,6 +128,10 @@ class ReadStream:
             yield self._tokens.get(1)
             self._issued += 1
             nbytes = self._block_size(index)
+            trace = self.env.trace
+            if trace is not None:
+                trace.instant(self._label, "stream.issue", self.env.now,
+                              index=index, bytes=nbytes)
             yield from self._charge_request(nbytes)
             yield self.env.timeout(self._request_path_ps)
             offset = self.base_offset + index * self.request_bytes
@@ -152,6 +156,9 @@ class ReadStream:
                 payload=(self.payloads[index]
                          if self.payloads is not None else None),
             )
+            if trace is not None:
+                trace.instant(self._label, "stream.arrival", self.env.now,
+                              index=index, bytes=nbytes)
             yield self._arrivals.put(arrival)
             self._delivered += 1
 
@@ -160,6 +167,10 @@ class ReadStream:
         yield self.env.timeout(last_tail_ps)
         if not self.to_switch:
             self.host.hca.account_bulk_in(nbytes)
+        trace = self.env.trace
+        if trace is not None:
+            trace.instant(self._label, "stream.complete", self.env.now,
+                          bytes=nbytes)
         end_event.succeed()
 
     # ------------------------------------------------------------------

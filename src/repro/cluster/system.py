@@ -22,6 +22,7 @@ from typing import Dict, List, Optional
 
 from ..net.link import Link
 from ..net.packet import HEADER_BYTES, MTU
+from ..obs.registry import MetricsRegistry
 from ..sim.core import Environment
 from ..sim.resources import Store
 from ..sim.units import transfer_ps
@@ -84,6 +85,68 @@ class System:
             for cpu in self.switch.cpus:
                 self.switch_cpu_pool.items.append(cpu)
 
+        #: Unified metric namespace over every component's counters;
+        #: pull-based, so registration costs nothing at simulation time.
+        self.metrics = MetricsRegistry()
+        self._register_metrics()
+
+    def _register_metrics(self) -> None:
+        """Expose every component's counters as named registry probes."""
+        m = self.metrics
+        m.register("sim.event_count", lambda: self.env.event_count)
+        m.register("sim.now_ps", lambda: self.env.now)
+        for to_switch, from_switch in self._links.values():
+            for link in (to_switch, from_switch):
+                m.register_stats(
+                    f"link.{link.name}", link.stats,
+                    ["packets_sent", "packets_delivered", "packets_dropped",
+                     "packets_corrupted", "retransmits", "bytes_sent",
+                     "bytes_delivered"])
+                m.register(f"link.{link.name}.utilization", link.utilization)
+        for node in self.hosts:
+            acct = node.cpu.accounting
+            m.register(f"cpu.{node.cpu.name}.busy_ps",
+                       lambda a=acct: a.busy_ps)
+            m.register(f"cpu.{node.cpu.name}.stall_ps",
+                       lambda a=acct: a.stall_ps)
+            m.register(f"hca.{node.name}.bytes_in",
+                       lambda h=node.hca: h.traffic.bytes_in)
+            m.register(f"hca.{node.name}.bytes_out",
+                       lambda h=node.hca: h.traffic.bytes_out)
+        for node in self.storage_nodes:
+            for disk in node.disks.disks:
+                m.register_stats(
+                    f"disk.{disk.name}", disk.stats,
+                    ["requests", "sequential_requests", "bytes_read",
+                     "bytes_written", "positioning_ps", "transfer_ps_total",
+                     "transient_errors", "retries"])
+                m.register(f"disk.{disk.name}.utilization",
+                           disk.busy.utilization)
+        if isinstance(self.switch, ActiveSwitch):
+            switch = self.switch
+            for cpu in switch.cpus:
+                m.register(f"cpu.{cpu.name}.busy_ps",
+                           lambda a=cpu.accounting: a.busy_ps)
+                m.register(f"cpu.{cpu.name}.stall_ps",
+                           lambda a=cpu.accounting: a.stall_ps)
+            m.register("switch.dispatched",
+                       lambda: switch.scheduler.stats.dispatched)
+            m.register("switch.queued_waits",
+                       lambda: switch.scheduler.stats.queued_waits)
+            m.register("switch.send.messages",
+                       lambda: switch.send_unit.stats.messages)
+            m.register("switch.send.bytes",
+                       lambda: switch.send_unit.stats.bytes)
+            m.register("switch.buffers.in_use",
+                       lambda: switch.buffers.in_use)
+
+    def attach_trace(self, collector) -> None:
+        """Attach a ``repro.obs.TraceCollector``: every instrumented
+        component starts emitting structured events into it.  Call before
+        ``env.run`` — the drain loop picks its instrumented flavour on
+        entry."""
+        self.env.trace = collector
+
     # ------------------------------------------------------------------
     # Wiring
     # ------------------------------------------------------------------
@@ -123,10 +186,24 @@ class System:
         aggregates what was injected and what the recovery machinery
         did: retransmits, retries, drops/corruptions, crash containment,
         and time spent in degraded (quarantined-handler) mode.
+
+        Caveat: observability loss is reliability information too.  If a
+        capacity-bounded trace sink dropped events — the structured
+        ``env.trace`` collector or the legacy per-switch ``Tracer`` —
+        ``trace_events_dropped`` reports how many, whether or not faults
+        were injected.  A 0 count is omitted, so fault-free untraced runs
+        still return ``{}`` and stay bit-identical to the seed.
         """
-        if self.injector is None:
-            return {}
         report: Dict[str, float] = {}
+        trace = self.env.trace
+        trace_dropped = trace.dropped if trace is not None else 0
+        legacy = getattr(self.switch, "tracer", None)
+        if legacy is not None:
+            trace_dropped += legacy.dropped
+        if trace_dropped:
+            report["trace_events_dropped"] = float(trace_dropped)
+        if self.injector is None:
+            return report
         retransmits = dropped = corrupted = 0
         for to_switch, from_switch in self._links.values():
             for link in (to_switch, from_switch):

@@ -67,18 +67,30 @@ class HostCPU:
         self.accounting.add_stall(stall_ps)
         total = busy_ps + stall_ps
         if total > 0:
+            trace = self.env.trace
+            if trace is not None:
+                trace.span(self.name, "cpu.work", self.env.now, total,
+                           busy_ps=busy_ps, stall_ps=stall_ps)
             yield self.env.timeout(total)
 
     def busy(self, duration_ps: int):
         """Occupy the CPU with non-cache busy time (e.g. OS overhead)."""
         self.accounting.add_busy(duration_ps)
         if duration_ps > 0:
+            trace = self.env.trace
+            if trace is not None:
+                trace.span(self.name, "cpu.work", self.env.now, duration_ps,
+                           busy_ps=duration_ps, stall_ps=0)
             yield self.env.timeout(duration_ps)
 
     def stall(self, duration_ps: int):
         """Explicit stall time (charged to the cache-stall bucket)."""
         self.accounting.add_stall(duration_ps)
         if duration_ps > 0:
+            trace = self.env.trace
+            if trace is not None:
+                trace.span(self.name, "cpu.work", self.env.now, duration_ps,
+                           busy_ps=0, stall_ps=duration_ps)
             yield self.env.timeout(duration_ps)
 
     def __repr__(self) -> str:

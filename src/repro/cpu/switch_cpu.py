@@ -76,6 +76,10 @@ class SwitchCPU:
         self.accounting.add_stall(stall_ps)
         total = busy_ps + stall_ps
         if total > 0:
+            trace = self.env.trace
+            if trace is not None:
+                trace.span(self.name, "cpu.work", self.env.now, total,
+                           busy_ps=busy_ps, stall_ps=stall_ps)
             yield self.env.timeout(total)
 
     def send_buffer(self):

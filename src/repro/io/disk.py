@@ -109,6 +109,7 @@ class Disk:
         with self.arm.request() as grant:
             yield grant
             self.busy.enter()
+            start_ps = self.env.now
             try:
                 self.stats.requests += 1
                 attempt = 0
@@ -135,6 +136,14 @@ class Disk:
                             self.stats.bytes_read += nbytes
                         yield self.env.timeout(transfer)
                         self._head_position = offset + nbytes
+                        trace = self.env.trace
+                        if trace is not None:
+                            trace.span(
+                                self.name,
+                                "disk.write" if write else "disk.read",
+                                start_ps, self.env.now - start_ps,
+                                offset=offset, bytes=nbytes,
+                                retries=attempt)
                         return
                     self.stats.transient_errors += 1
                     yield self.env.timeout(transfer // 2)

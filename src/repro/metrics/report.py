@@ -132,6 +132,26 @@ class Report:
         """Machine-readable figure metrics (per-case dict)."""
         return self.result.summary()
 
+    def timeline(self, case: Optional[str] = None, width: int = 64) -> str:
+        """Per-component trace timelines (``repro.run(..., trace=True)``).
+
+        Renders an ASCII occupancy strip per component for each traced
+        case (or just ``case``).  Empty string when the result carries
+        no traces — tracing is opt-in, so untraced reports simply omit
+        this section.
+        """
+        traces = getattr(self.result, "traces", None)
+        if not traces:
+            return ""
+        from ..obs.timeline import render_timeline
+        labels = [case] if case is not None else list(traces)
+        sections = []
+        for label in labels:
+            collector = traces[label]
+            sections.append(f"{self.result.name} [{label}]: timeline\n"
+                            + render_timeline(collector, width=width))
+        return "\n\n".join(sections)
+
     def render(self) -> str:
         """Every non-empty section, blank-line separated."""
         sections = [self.performance(), self.breakdown(),

@@ -128,6 +128,7 @@ class Link:
             with self._wire.request() as grant:
                 yield grant
                 self.busy.enter()
+                start_ps = self.env.now
                 try:
                     yield self.env.timeout(
                         self.serialization_ps(packet.wire_bytes))
@@ -137,6 +138,12 @@ class Link:
             self.stats.bytes_sent += packet.wire_bytes
             outcome = ("ok" if faults is None or not faults.enabled
                        else injector.link_outcome(self.name))
+            trace = self.env.trace
+            if trace is not None:
+                trace.span(self.name, "link.xmit", start_ps,
+                           self.env.now - start_ps, msg=packet.message_id,
+                           seq=packet.seq, bytes=packet.wire_bytes,
+                           outcome=outcome, attempt=attempt)
             if outcome == "ok":
                 # The compose buffer is recycled exactly once, and only
                 # now: a dropped/corrupted copy still needs the buffer
@@ -207,6 +214,11 @@ class Link:
                 continue
             self.stats.packets_delivered += 1
             self.stats.bytes_delivered += packet.wire_bytes
+            trace = self.env.trace
+            if trace is not None:
+                trace.instant(self.name, "link.deliver", self.env.now,
+                              msg=packet.message_id, seq=packet.seq,
+                              bytes=packet.wire_bytes)
             return packet
 
     def assert_credit_conservation(self) -> None:

@@ -1,0 +1,142 @@
+"""Terminal timeline rendering and trace-derived breakdowns.
+
+Two views of the same trace:
+
+* :func:`render_timeline` — an ASCII occupancy strip per component, the
+  "where did the time go" picture without leaving the terminal.  ``#``
+  marks buckets covered by a span, ``.`` buckets that only saw instants,
+  and each row ends with the component's busy fraction.
+* :func:`timeline_breakdown` — per-component busy/stall/idle picosecond
+  totals recovered from the ``busy_ps``/``stall_ps`` attribution that CPU
+  work and handler spans carry.  This is the paper's execution-time
+  breakdown recomputed from a trace instead of from end-of-run
+  accounting; the two must agree, and the determinism tests check it.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from .trace import PHASE_COUNTER, PHASE_SPAN, TraceCollector
+
+
+def _busy_ps(collector: TraceCollector, component: str) -> int:
+    """Total span-covered time on a component (overlaps merged)."""
+    spans = sorted((e.ts_ps, e.end_ps)
+                   for e in collector.select(component=component,
+                                             phase=PHASE_SPAN))
+    total = 0
+    cursor = None
+    for start, end in spans:
+        if cursor is None or start > cursor:
+            total += end - start
+            cursor = end
+        elif end > cursor:
+            total += end - cursor
+            cursor = end
+    return total
+
+
+def render_timeline(collector: TraceCollector, width: int = 64,
+                    components: Optional[List[str]] = None) -> str:
+    """Render an ASCII occupancy timeline, one row per component."""
+    start, end = collector.span_ps()
+    window = max(end - start, 1)
+    if components is None:
+        components = collector.components()
+    if not components:
+        return "(empty trace)"
+    label_w = max(len(c) for c in components)
+    header = (f"{'':{label_w}}  |{'-' * (width - 2)}|  "
+              f"{window / 1e6:.3f} us window, {len(collector)} events")
+    lines = [header]
+    for component in components:
+        cells = [" "] * width
+        for event in collector.select(component=component):
+            lo = (event.ts_ps - start) * width // window
+            hi = (event.end_ps - start) * width // window
+            lo = min(max(lo, 0), width - 1)
+            hi = min(max(hi, lo), width - 1)
+            if event.phase == PHASE_SPAN:
+                for i in range(lo, hi + 1):
+                    cells[i] = "#"
+            elif cells[lo] == " ":
+                cells[lo] = "."
+        busy = _busy_ps(collector, component) / window
+        lines.append(f"{component:{label_w}}  {''.join(cells)}  "
+                     f"{busy * 100:5.1f}%")
+    return "\n".join(lines)
+
+
+def timeline_table(collector: TraceCollector) -> str:
+    """Per-component event/span statistics as an aligned text table."""
+    start, end = collector.span_ps()
+    window = max(end - start, 1)
+    components = collector.components()
+    if not components:
+        return "(empty trace)"
+    rows = [("component", "events", "spans", "busy_us", "busy%")]
+    for component in components:
+        events = collector.select(component=component)
+        spans = [e for e in events if e.phase == PHASE_SPAN]
+        busy = _busy_ps(collector, component)
+        rows.append((component, str(len(events)), str(len(spans)),
+                     f"{busy / 1e6:.3f}", f"{busy / window * 100:.1f}"))
+    widths = [max(len(row[i]) for row in rows) for i in range(len(rows[0]))]
+    lines = []
+    for i, row in enumerate(rows):
+        lines.append("  ".join(cell.ljust(widths[j]) if j == 0
+                               else cell.rjust(widths[j])
+                               for j, cell in enumerate(row)))
+        if i == 0:
+            lines.append("  ".join("-" * w for w in widths))
+    return "\n".join(lines)
+
+
+def timeline_breakdown(collector: TraceCollector,
+                       total_ps: Optional[int] = None,
+                       ) -> Dict[str, Dict[str, float]]:
+    """Recover per-component busy/stall/idle totals from span attribution.
+
+    Sums the ``busy_ps``/``stall_ps`` args that ``cpu.work`` and
+    ``handler`` spans carry.  ``total_ps`` defaults to the trace window;
+    idle is whatever the spans do not explain.  Returns ``{component:
+    {"busy_ps": ..., "stall_ps": ..., "idle_ps": ..., "total_ps": ...}}``.
+    """
+    start, end = collector.span_ps()
+    if total_ps is None:
+        total_ps = end - start
+    # A switch CPU carries both "handler" spans and the "cpu.work" spans
+    # nested inside them; both are attributed, so summing every span
+    # would double-count.  Where handler spans exist they are the
+    # authoritative (outermost) attribution for that component.
+    handler_components = {e.component
+                          for e in collector.select(name="handler",
+                                                    phase=PHASE_SPAN)}
+    out: Dict[str, Dict[str, float]] = {}
+    for event in collector.select(phase=PHASE_SPAN):
+        busy = event.get("busy_ps")
+        stall = event.get("stall_ps")
+        if busy is None and stall is None:
+            continue
+        if (event.component in handler_components
+                and event.name != "handler"):
+            continue
+        row = out.setdefault(event.component, {
+            "busy_ps": 0, "stall_ps": 0, "idle_ps": 0,
+            "total_ps": total_ps,
+        })
+        row["busy_ps"] += busy or 0
+        row["stall_ps"] += stall or 0
+    for row in out.values():
+        row["idle_ps"] = max(
+            row["total_ps"] - row["busy_ps"] - row["stall_ps"], 0)
+    return out
+
+
+def counter_series(collector: TraceCollector, name: str,
+                   component: Optional[str] = None) -> List[tuple]:
+    """Extract one counter series as ``[(ts_ps, value), ...]``."""
+    return [(e.ts_ps, e.get("value"))
+            for e in collector.select(name=name, component=component,
+                                      phase=PHASE_COUNTER)]

@@ -47,6 +47,13 @@ def build_parser() -> argparse.ArgumentParser:
                         help="master seed override for every cell")
     parser.add_argument("--json", action="store_true",
                         help="emit machine-readable JSON instead of tables")
+    parser.add_argument("--trace", action="store_true",
+                        help="record structured traces (forces serial, "
+                             "uncached execution; prints terminal "
+                             "timelines unless --json)")
+    parser.add_argument("--trace-out", default=None, metavar="FILE",
+                        help="write the merged Chrome trace_event JSON "
+                             "(Perfetto-loadable) to FILE; implies --trace")
     parser.add_argument("--quiet", action="store_true",
                         help="suppress per-cell progress lines")
     parser.add_argument("--baseline-check", action="store_true",
@@ -73,6 +80,23 @@ def _run_grid(specs, cases, seed, runner, progress):
     return {label: bench for (label, _), bench in grid.items()}
 
 
+def _run_traced_grid(specs, cases, seed):
+    """Serial traced pass: one RunResult per spec plus merged collectors.
+
+    The merged mapping keys are ``"app/case"`` so every traced cell gets
+    its own Perfetto process track in the single exported document.
+    """
+    from .api import run as run_api
+    grid = {}
+    merged = {}
+    for spec in specs:
+        result = run_api(spec, cases=cases, seed=seed, trace=True)
+        grid[spec.label] = result
+        for case_label, collector in result.traces.items():
+            merged[f"{spec.label}/{case_label}"] = collector
+    return grid, merged
+
+
 def main(argv=None) -> int:
     args = build_parser().parse_args(argv)
     specs = _select_specs(args)
@@ -83,8 +107,21 @@ def main(argv=None) -> int:
     runner = ExperimentRunner(parallel=args.parallel, cache=args.cache,
                               progress=progress)
 
+    tracing = args.trace or args.trace_out is not None
+    if tracing and args.parallel > 1:
+        print("note: tracing forces serial execution; --parallel ignored",
+              file=sys.stderr)
+
     started = time.perf_counter()
-    grid = _run_grid(specs, cases, args.seed, runner, progress)
+    if tracing:
+        grid, traces = _run_traced_grid(specs, cases, args.seed)
+        if args.trace_out:
+            from ..obs.export import write_chrome_trace
+            document = write_chrome_trace(args.trace_out, traces)
+            print(f"trace: {len(document['traceEvents'])} events -> "
+                  f"{args.trace_out}", file=sys.stderr)
+    else:
+        grid = _run_grid(specs, cases, args.seed, runner, progress)
     harness_s = time.perf_counter() - started
 
     if args.json:
@@ -99,13 +136,23 @@ def main(argv=None) -> int:
     else:
         from ..metrics.report import Report
         for label, bench in grid.items():
-            print(Report(bench).performance())
+            report = Report(bench)
+            print(report.performance())
             print()
-        summary = progress.summary()
-        print(f"grid: {summary['cells']} cells, "
-              f"{summary['cache_hits']} cache hits, "
-              f"{summary['simulated']} simulated, "
-              f"{harness_s:.1f}s wall", file=sys.stderr)
+            if tracing and args.trace:
+                timeline = report.timeline()
+                if timeline:
+                    print(timeline)
+                    print()
+        if tracing:
+            print(f"grid: {len(grid)} specs traced serially, "
+                  f"{harness_s:.1f}s wall", file=sys.stderr)
+        else:
+            summary = progress.summary()
+            print(f"grid: {summary['cells']} cells, "
+                  f"{summary['cache_hits']} cache hits, "
+                  f"{summary['simulated']} simulated, "
+                  f"{harness_s:.1f}s wall", file=sys.stderr)
 
     if args.baseline_check:
         serial = ExperimentRunner(parallel=1, cache=None)

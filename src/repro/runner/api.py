@@ -66,6 +66,10 @@ class RunResult(BenchmarkResult):
     """
 
     stats: Dict[str, object] = field(default_factory=dict)
+    #: Case label -> ``repro.obs.TraceCollector``; populated only by
+    #: ``run(trace=...)``.  Traces ride on the RunResult, never inside
+    #: the CaseResults, so traced and untraced results stay identical.
+    traces: Dict[str, object] = field(default_factory=dict)
 
     @classmethod
     def from_benchmark(cls, result: BenchmarkResult,
@@ -84,6 +88,7 @@ def run(app, cases: Optional[Sequence[str]] = None, *,
         name: Optional[str] = None,
         show_progress: Optional[bool] = None,
         progress: Optional[Progress] = None,
+        trace=None,
         **params) -> RunResult:
     """Run ``app`` through the experiment harness.
 
@@ -105,10 +110,23 @@ def run(app, cases: Optional[Sequence[str]] = None, *,
     preset, overrides, ``**params``:
         Forwarded to :func:`make_spec` (technology preset, flat config
         overrides, app constructor parameters).
+    trace:
+        ``True`` to record a structured trace per case (returned as
+        ``result.traces``), or a file path to additionally write the
+        merged Chrome ``trace_event`` JSON there (openable in Perfetto).
+        Tracing forces serial in-process execution and bypasses the
+        cache — a cache hit would skip the simulation a trace observes.
+        The measured ``CaseResult``s are identical with or without
+        tracing (see docs/observability.md).
     """
     parallel = _default("parallel", parallel)
     cache = _default("cache", cache)
     show_progress = _default("show_progress", show_progress)
+
+    if trace:
+        return _run_traced(app, cases=cases, seed=seed, name=name,
+                           preset=preset, overrides=overrides,
+                           params=params, trace=trace)
 
     if callable(app) and not isinstance(app, type):
         if params or preset or overrides:
@@ -154,6 +172,56 @@ def _run_factory(app_factory, cases: Optional[Sequence[str]],
     return RunResult(name=app_name or "benchmark", cases=results,
                      stats={"parallel": 1, "cache_dir": None,
                             "cache_hits": 0, "spec": None})
+
+
+def _run_traced(app, *, cases: Optional[Sequence[str]],
+                seed: Optional[int], name: Optional[str],
+                preset: Optional[str], overrides: Optional[dict],
+                params: dict, trace) -> RunResult:
+    """Traced path: serial, in-process, uncached — one collector per case."""
+    import os
+    from dataclasses import replace
+
+    from ..obs.export import write_chrome_trace
+    from ..obs.trace import TraceCollector
+
+    factory = callable(app) and not isinstance(app, type)
+    spec = None
+    if factory:
+        if params or preset or overrides:
+            raise TypeError(
+                "factory callables take no spec parameters; pass a "
+                "registered name or application class instead")
+    else:
+        spec = make_spec(app, preset=preset, overrides=overrides, **params)
+
+    labels = tuple(cases) if cases is not None else CASE_LABELS
+    results: Dict[str, CaseResult] = {}
+    collectors: Dict[str, object] = {}
+    app_name = name
+    for label in labels:
+        instance = app() if factory else spec.build()
+        if app_name is None:
+            app_name = instance.name
+        config = (instance.cluster_config() if factory
+                  else spec.base_config(instance))
+        if seed is not None:
+            config = replace(config, seed=seed)
+        config = config.with_case(active=label.startswith("active"),
+                                  prefetch=label.endswith("+pref"))
+        collector = TraceCollector()
+        results[label] = instance.run_case(config, trace=collector)
+        collectors[label] = collector
+
+    trace_path = None
+    if not isinstance(trace, bool):
+        trace_path = os.fspath(trace)
+        write_chrome_trace(trace_path, collectors)
+    return RunResult(name=app_name or "benchmark", cases=results,
+                     stats={"parallel": 1, "cache_dir": None,
+                            "cache_hits": 0, "spec": spec,
+                            "trace_path": trace_path},
+                     traces=collectors)
 
 
 def run_many(specs: Sequence, *,

@@ -267,6 +267,11 @@ class ActiveSwitch(BaseSwitch):
         self.tracer.record(self.env.now, "handler-crash", switch=self.name,
                            handler_id=handler_id, cpu=cpu.cpu_id,
                            error=type(exc).__name__)
+        trace = self.env.trace
+        if trace is not None:
+            trace.instant(self.name, "switch.crash", self.env.now,
+                          handler_id=handler_id, cpu=cpu.cpu_id,
+                          error=type(exc).__name__)
         # Reclaim the crashed message's stream state: unmap its address
         # range, free the buffers (a still-running fill is stopped by
         # the buffer's generation check on reset).
@@ -323,6 +328,11 @@ class ActiveSwitch(BaseSwitch):
         self.tracer.record(self.env.now, "quarantine", switch=self.name,
                            handler_id=handler_id,
                            crashes=self._handler_health[handler_id])
+        trace = self.env.trace
+        if trace is not None:
+            trace.instant(self.name, "switch.quarantine", self.env.now,
+                          handler_id=handler_id,
+                          crashes=self._handler_health[handler_id])
         flush = self._flush_hooks.get(handler_id)
         if flush is not None:
             message = Message(src=self.name, dst=self.name, size_bytes=0)
@@ -418,6 +428,11 @@ class ActiveSwitch(BaseSwitch):
                                    switch=self.name,
                                    handler_id=handler_id,
                                    cpu=cpu.cpu_id, src=packet.src)
+            trace = self.env.trace
+            if trace is not None:
+                trace.instant(self.name, "switch.dispatch", self.env.now,
+                              handler_id=handler_id, cpu=cpu.cpu_id,
+                              src=packet.src, msg=packet.message_id)
             self._msg_cpu[packet.message_id] = cpu
             yield from stage_payload(cpu, packet.active.address)
             total = (packet.message_bytes if packet.message_bytes is not None
@@ -426,12 +441,13 @@ class ActiveSwitch(BaseSwitch):
                               size_bytes=total,
                               active=packet.active, payload=packet.payload)
             handler = self.jump_table.lookup(handler_id)
-            if self._injector is not None:
-                meta = {"handler_id": handler_id,
-                        "message": message,
-                        "message_id": packet.message_id,
-                        "address": packet.active.address,
-                        "fallback_dst": packet.active.fallback_dst}
+            # Built unconditionally: the crash handler (when armed) and
+            # the dispatch unit's handler-span attribution both read it.
+            meta = {"handler_id": handler_id,
+                    "message": message,
+                    "message_id": packet.message_id,
+                    "address": packet.active.address,
+                    "fallback_dst": packet.active.fallback_dst}
 
             def make_generator(chosen_cpu, _message=message,
                                _handler=handler, _crash=crash_this):

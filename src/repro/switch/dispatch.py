@@ -107,6 +107,12 @@ class CpuScheduler:
             task = yield queue.get()
             generator, done, meta = task
             cpu.active = True
+            trace = self.env.trace
+            if trace is not None:
+                start_ps = self.env.now
+                acct = getattr(cpu, "accounting", None)
+                busy0 = acct.busy_ps if acct is not None else 0
+                stall0 = acct.stall_ps if acct is not None else 0
             try:
                 result = yield self.env.process(generator, name=f"{cpu.name}-handler")
             except Exception as exc:
@@ -118,6 +124,19 @@ class CpuScheduler:
             finally:
                 cpu.active = False
                 self._pending[index] -= 1
+                if trace is not None:
+                    # Per-handler cycle attribution: the accounting delta
+                    # over the invocation is what *this* handler cost.
+                    # Only scalar metadata goes into the trace (meta may
+                    # carry live objects for the crash handler).
+                    args = ({k: v for k, v in meta.items()
+                             if isinstance(v, (int, float, str))}
+                            if isinstance(meta, dict) else {})
+                    if acct is not None:
+                        args["busy_ps"] = acct.busy_ps - busy0
+                        args["stall_ps"] = acct.stall_ps - stall0
+                    trace.span(cpu.name, "handler", start_ps,
+                               self.env.now - start_ps, **args)
             if done is not None:
                 done.succeed(result)
 

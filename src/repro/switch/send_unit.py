@@ -46,14 +46,22 @@ class SendUnit:
                           payload=payload)
         self.stats.messages += 1
         self.stats.bytes += size_bytes
+        start_ps = self.env.now
+        npackets = 0
         for packet in message.packetize():
             yield from cpu.work(busy_cycles=SEND_BUFFER_CYCLES)
             buffer = yield from self.switch.buffers.allocate()
             buffer.mark_all_valid()  # composed in place by the handler
             packet.notify = self.env.event()
             self.stats.packets += 1
+            npackets += 1
             yield from self.switch.inject(packet, out_port=out_port)
             self.env.process(self._recycle(packet, buffer), name="send-recycle")
+        trace = self.env.trace
+        if trace is not None:
+            trace.span(self.switch.name, "switch.send", start_ps,
+                       self.env.now - start_ps, dst=dst, bytes=size_bytes,
+                       packets=npackets)
 
     def _recycle(self, packet, buffer):
         yield packet.notify

@@ -1,0 +1,47 @@
+"""Tracing must observe, never perturb: traced == untraced results."""
+
+import repro
+from repro.obs import TraceCollector
+
+
+def test_traced_run_results_are_identical():
+    plain = repro.run("grep", scale=0.05)
+    traced = repro.run("grep", scale=0.05, trace=True)
+    assert traced.cases == plain.cases
+    assert set(traced.traces) == set(plain.cases)
+    for collector in traced.traces.values():
+        assert len(collector) > 0
+        assert collector.dropped == 0
+
+
+def test_fault_free_extra_stays_empty_under_tracing():
+    # An unbounded collector never drops, so reliability_report() (and
+    # therefore CaseResult.extra) must stay {} on fault-free runs.
+    traced = repro.run("grep", scale=0.05, trace=True)
+    for label, case in traced.cases.items():
+        assert case.extra == {}, label
+
+
+def test_trace_write_path_matches_trace_true(tmp_path):
+    path = tmp_path / "trace.json"
+    traced = repro.run("grep", scale=0.05, trace=path)
+    plain = repro.run("grep", scale=0.05, trace=True)
+    assert path.exists()
+    assert traced.cases == plain.cases
+    for label in plain.traces:
+        assert list(traced.traces[label]) == list(plain.traces[label])
+
+
+def test_dropped_events_surface_in_reliability_report():
+    from repro.cluster import ClusterConfig, System, case_configs
+
+    config = dict(case_configs(ClusterConfig()))["normal"]
+    system = System(config)
+    system.attach_trace(TraceCollector(capacity=1))
+    system.env.trace.instant("a", "tick", 0)
+    system.env.trace.instant("a", "tick", 1)  # dropped
+    report = system.reliability_report()
+    assert report["trace_events_dropped"] == 1.0
+
+    untraced = System(config)
+    assert untraced.reliability_report() == {}

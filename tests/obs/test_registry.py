@@ -1,0 +1,81 @@
+"""MetricsRegistry: probes, counters, stats discovery, snapshot/diff."""
+
+from dataclasses import dataclass, field
+
+import pytest
+
+from repro.cluster import ClusterConfig, System
+from repro.obs import MetricsRegistry
+
+
+def test_register_and_value():
+    reg = MetricsRegistry()
+    reg.register("a.x", lambda: 3)
+    assert reg.value("a.x") == 3
+    assert "a.x" in reg
+    assert len(reg) == 1
+    with pytest.raises(TypeError):
+        reg.register("a.y", 7)
+
+
+def test_counter_is_live():
+    reg = MetricsRegistry()
+    c = reg.counter("errors")
+    assert reg.value("errors") == 0
+    c.add(2)
+    c.add(3)
+    assert reg.value("errors") == 5
+
+
+def test_register_stats_discovers_numeric_fields():
+    @dataclass
+    class Stats:
+        packets: int = 4
+        bytes: int = 1024
+        label: str = "nope"          # non-numeric: skipped
+        enabled: bool = True         # bool: skipped
+        _private: int = field(default=9)
+
+    reg = MetricsRegistry()
+    reg.register_stats("link.up", Stats())
+    assert sorted(reg.names()) == ["link.up.bytes", "link.up.packets"]
+    assert reg.value("link.up.bytes") == 1024
+
+    explicit = MetricsRegistry()
+    explicit.register_stats("link.up", Stats(), fields=["packets"])
+    assert explicit.names() == ["link.up.packets"]
+
+
+def test_snapshot_prefix_and_diff():
+    reg = MetricsRegistry()
+    reg.register("disk.a.requests", lambda: 1)
+    reg.register("disk.b.requests", lambda: 2)
+    reg.register("diskette", lambda: 9)   # prefix match is dotted, not str
+    c = reg.counter("cpu.busy")
+
+    snap = reg.snapshot(prefix="disk")
+    assert set(snap) == {"disk.a.requests", "disk.b.requests"}
+
+    before = reg.snapshot()
+    c.add(10)
+    delta = reg.diff(before)
+    assert delta == {"cpu.busy": 10}
+    # unregister between snapshots: missing keys are treated as 0
+    reg.unregister("diskette")
+    after = reg.snapshot()
+    assert reg.diff(before, after)["diskette"] == -9
+
+
+def test_system_registry_covers_every_layer():
+    from repro.cluster import case_configs
+
+    active_config = dict(case_configs(ClusterConfig()))["active"]
+    system = System(active_config)
+    names = system.metrics.names()
+    for prefix in ("sim.", "link.", "cpu.", "hca.", "disk.", "switch."):
+        assert any(n.startswith(prefix) for n in names), prefix
+    snap = system.metrics.snapshot()
+    assert snap["sim.event_count"] == 0
+    assert all(isinstance(v, (int, float)) for v in snap.values())
+    # utilization probes exist per link and per disk
+    assert any(n.endswith(".utilization") for n in names)

@@ -20,11 +20,12 @@ PACKAGES = [
     "repro.experiments",
     "repro.faults",
     "repro.runner",
+    "repro.obs",
 ]
 
 
 def test_version():
-    assert repro.__version__ == "1.1.0"
+    assert repro.__version__ == "1.2.0"
 
 
 @pytest.mark.parametrize("package", PACKAGES)

@@ -83,3 +83,12 @@ def test_tutorial_section_3_redactor_app():
             <= result.case("normal").exec_ps)
     assert result.normalized_traffic("active") > 0.85  # only 10% dropped
     assert result.utilization("active") < result.utilization("normal")
+
+    # Section 6: the same run, traced — identical results plus traces.
+    traced = repro.run(lambda: RedactorApp(scale=0.125), trace=True)
+    assert traced.cases == result.cases
+    assert set(traced.traces) == set(result.cases)
+    timeline = traced.report().timeline("active+pref")
+    assert "timeline" in timeline
+    summary = traced.traces["active+pref"].summary()
+    assert summary.get("disk.read", 0) > 0
