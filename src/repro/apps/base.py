@@ -170,13 +170,18 @@ class StreamApp:
     # Entry point for one configuration
     # ------------------------------------------------------------------
     def run_case(self, config: ClusterConfig,
-                 trace=None) -> CaseResult:
+                 trace=None, metrics_sink: Optional[dict] = None
+                 ) -> CaseResult:
         """Run one configuration.
 
         ``trace`` is an optional ``repro.obs.TraceCollector``; when given,
         every instrumented component emits structured events into it for
-        the duration of the case.  The returned :class:`CaseResult` is
-        identical either way — traces never feed back into results.
+        the duration of the case.  ``metrics_sink`` is an optional dict
+        that receives the system's full ``MetricsRegistry`` snapshot after
+        the run — the cache/TLB/memory counters behind the bench harness
+        and the golden-equivalence tests.  The returned
+        :class:`CaseResult` is identical either way — observers never
+        feed back into results.
         """
         system = System(config)
         if trace is not None:
@@ -190,6 +195,8 @@ class StreamApp:
             runner = self.run_normal(system, config.prefetch_depth)
         proc = system.env.process(runner, name=f"{self.name}-{config.case_label}")
         system.env.run(until=proc)
+        if metrics_sink is not None:
+            metrics_sink.update(system.metrics.snapshot())
         return finalize_case(system, config.case_label)
 
 

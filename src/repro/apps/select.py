@@ -80,10 +80,8 @@ class SelectApp(StreamApp):
                 # One key load per record: stride = record size, so each
                 # record's first line misses (the paper's cold-miss cost
                 # of scanning a table that streams through the caches).
-                stall = 0
-                for i in range(count):
-                    stall += hierarchy.load(addr + i * records.RECORD_BYTES)
-                return stall
+                return hierarchy.load_stride(addr, records.RECORD_BYTES,
+                                             count)
 
             self.blocks.append(BlockWork(
                 nbytes=nbytes,

@@ -129,7 +129,7 @@ class SortApp:
 
     # ------------------------------------------------------------------
     def run_case(self, config: ClusterConfig,
-                 trace=None) -> CaseResult:
+                 trace=None, metrics_sink=None) -> CaseResult:
         system = System(config)
         if trace is not None:
             system.attach_trace(trace)
@@ -140,6 +140,8 @@ class SortApp:
                  for node in range(self.num_nodes)]
         gate = env.all_of(procs)
         env.run(until=gate)
+        if metrics_sink is not None:
+            metrics_sink.update(system.metrics.snapshot())
         return finalize_case(system, config.case_label)
 
     # Functional oracle ---------------------------------------------------

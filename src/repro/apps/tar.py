@@ -199,7 +199,7 @@ class TarApp:
 
     # ------------------------------------------------------------------
     def run_case(self, config: ClusterConfig,
-                 trace=None) -> CaseResult:
+                 trace=None, metrics_sink=None) -> CaseResult:
         system = System(config)
         if trace is not None:
             system.attach_trace(trace)
@@ -208,4 +208,6 @@ class TarApp:
                   else self.run_normal(system, config.prefetch_depth))
         proc = system.env.process(runner, name=f"tar-{config.case_label}")
         system.env.run(until=proc)
+        if metrics_sink is not None:
+            metrics_sink.update(system.metrics.snapshot())
         return finalize_case(system, config.case_label)

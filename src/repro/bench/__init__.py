@@ -1,0 +1,295 @@
+"""Perf-regression harness: the ``BENCH_*.json`` trajectory.
+
+The simulator's correctness story is covered by the test suite; this
+package covers its *speed*.  ``python -m repro.bench`` times the
+standard application grid cell by cell — wall-clock seconds, simulation
+events per second, and cache accesses per second — and emits a
+``BENCH_<n>.json`` snapshot.  Committing one snapshot per perf-relevant
+PR builds a trajectory the next optimisation can be measured against::
+
+    python -m repro.bench                       # full grid -> BENCH_<n>.json
+    python -m repro.bench --quick               # scan-heavy smoke grid
+    python -m repro.bench --compare BENCH_5.json --threshold 0.30
+
+Measurement methodology (same rules for every snapshot, so files stay
+comparable):
+
+* a *cell* is one (app, case) pair; its ``wall_s`` covers exactly
+  ``StreamApp.run_case`` — workload generation is timed separately as
+  the per-app ``prepare_s``, because it is amortised across cases and
+  is not part of the simulator hot path;
+* ``events_per_s`` is the DES kernel throughput
+  (``sim.event_count / wall_s``);
+* ``cache_accesses_per_s`` is the memory-model throughput: the sum of
+  every ``mem.*.{l1d,l1i,l2}.accesses`` counter from the system's
+  :class:`~repro.obs.MetricsRegistry` divided by ``wall_s`` — the same
+  names traces and experiments read, so bench numbers and observability
+  share one vocabulary;
+* cells run serially, in process, uncached (a cache hit measures
+  nothing).
+
+Comparison is tolerant by design: CI runners are noisy, so
+:func:`compare` *fails* only past a configurable regression threshold
+(default 30%) on per-app wall-clock, and merely *warns* on smaller
+slowdowns or per-cell noise.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import sys
+import time
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..metrics.report import render_table
+from ..runner.harness import CASE_LABELS, Cell, cell_config
+from ..runner.spec import DEFAULT_SCALES, AppSpec, make_spec, paper_grid
+
+#: Cache levels whose ``accesses`` counters make up the throughput rate.
+CACHE_LEVELS = ("l1d", "l1i", "l2")
+
+#: The scan-heavy apps the ``--quick`` smoke grid exercises (the cells
+#: the memory-hierarchy fast path matters most for).
+QUICK_APPS = ("select", "grep", "sort", "tar")
+
+#: Extra workload scale factor applied by ``--quick``.
+QUICK_SCALE = 0.25
+
+#: The trajectory starts at PR 5 (the hot-path overhaul); earlier PRs
+#: predate the harness.
+FIRST_BENCH_ID = 5
+
+_BENCH_RE = re.compile(r"^BENCH_(\d+)\.json$")
+
+
+def quick_grid(scale: Optional[float] = None) -> Tuple[AppSpec, ...]:
+    """The reduced scan-heavy grid behind ``--quick``."""
+    factor = QUICK_SCALE if scale is None else scale
+    return tuple(
+        make_spec(name, scale=DEFAULT_SCALES.get(name, 1.0) * factor)
+        for name in QUICK_APPS)
+
+
+def _cell_metrics(sink: Dict[str, float]) -> Tuple[Optional[int], Dict[str, int]]:
+    """(event count, per-level cache access counts) from a snapshot."""
+    events = sink.get("sim.event_count")
+    by_level: Dict[str, int] = {}
+    for name, value in sink.items():
+        parts = name.split(".")
+        if (parts[0] == "mem" and parts[-1] == "accesses"
+                and parts[-2] in CACHE_LEVELS):
+            by_level[parts[-2]] = by_level.get(parts[-2], 0) + int(value)
+    return (int(events) if events is not None else None), by_level
+
+
+def _rate(count: Optional[int], wall_s: float) -> Optional[float]:
+    if count is None or wall_s <= 0:
+        return None
+    return count / wall_s
+
+
+def _takes_metrics_sink(app) -> bool:
+    import inspect
+
+    try:
+        return "metrics_sink" in inspect.signature(app.run_case).parameters
+    except (TypeError, ValueError):  # pragma: no cover - exotic callables
+        return False
+
+
+def run_bench(specs: Sequence[AppSpec],
+              cases: Sequence[str] = CASE_LABELS,
+              seed: Optional[int] = None,
+              progress=None) -> dict:
+    """Time every (spec, case) cell; returns the snapshot document body.
+
+    ``progress`` is an optional callable receiving one human-readable
+    line per finished cell.
+    """
+    cells: Dict[str, dict] = {}
+    apps: Dict[str, dict] = {}
+    for spec in specs:
+        t0 = time.perf_counter()
+        app = spec.build()
+        prepare_s = time.perf_counter() - t0
+        app_wall = 0.0
+        app_events = 0
+        app_accesses = 0
+        counters_seen = False
+        for case in cases:
+            config = cell_config(Cell(spec=spec, case=case, seed=seed), app)
+            sink: Dict[str, float] = {}
+            t0 = time.perf_counter()
+            if _takes_metrics_sink(app):
+                result = app.run_case(config, metrics_sink=sink)
+            else:
+                # Older run_case without the metrics hook (used when this
+                # harness measures a pre-hook checkout as a baseline).
+                result = app.run_case(config)
+            wall_s = time.perf_counter() - t0
+            events, by_level = _cell_metrics(sink)
+            accesses = sum(by_level.values()) if by_level else None
+            key = f"{spec.label}/{case}"
+            cells[key] = {
+                "wall_s": round(wall_s, 6),
+                "exec_ps": result.exec_ps,
+                "events": events,
+                "events_per_s": _rate(events, wall_s),
+                "cache_accesses": accesses,
+                "cache_accesses_by_level": by_level or None,
+                "cache_accesses_per_s": _rate(accesses, wall_s),
+            }
+            app_wall += wall_s
+            if events is not None:
+                app_events += events
+                counters_seen = True
+            if accesses is not None:
+                app_accesses += accesses
+            if progress is not None:
+                rate = cells[key]["cache_accesses_per_s"]
+                progress(f"{key}: {wall_s:.2f}s"
+                         + (f", {rate / 1e6:.2f} M cache accesses/s"
+                            if rate else ""))
+        apps[spec.label] = {
+            "prepare_s": round(prepare_s, 6),
+            "wall_s": round(app_wall, 6),
+            "events_per_s": _rate(app_events if counters_seen else None,
+                                  app_wall),
+            "cache_accesses_per_s": _rate(
+                app_accesses if counters_seen else None, app_wall),
+        }
+    return {"cells": cells, "apps": apps}
+
+
+# ----------------------------------------------------------------------
+# Snapshot files
+# ----------------------------------------------------------------------
+def make_document(measurements: dict, *, bench_id: int,
+                  quick: bool) -> dict:
+    """Wrap raw measurements in the committed-snapshot envelope."""
+    from ..runner.fingerprint import code_version
+
+    return {
+        "schema": "repro-bench/1",
+        "bench_id": bench_id,
+        "quick": quick,
+        "created_utc": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "python": sys.version.split()[0],
+        "code_version": code_version(),
+        **measurements,
+    }
+
+
+def save(document: dict, path) -> str:
+    path = os.fspath(path)
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(document, fh, indent=2, sort_keys=False)
+        fh.write("\n")
+    return path
+
+
+def load(path) -> dict:
+    with open(os.fspath(path), encoding="utf-8") as fh:
+        document = json.load(fh)
+    if "cells" not in document or "apps" not in document:
+        raise ValueError(f"{path}: not a repro-bench snapshot")
+    return document
+
+
+def existing_bench_ids(directory=".") -> List[int]:
+    """Sorted ids of the ``BENCH_<n>.json`` files in ``directory``."""
+    ids = []
+    for name in os.listdir(os.fspath(directory)):
+        match = _BENCH_RE.match(name)
+        if match:
+            ids.append(int(match.group(1)))
+    return sorted(ids)
+
+
+def next_bench_id(directory=".") -> int:
+    ids = existing_bench_ids(directory)
+    return max(ids) + 1 if ids else FIRST_BENCH_ID
+
+
+def previous_bench_path(directory=".") -> Optional[str]:
+    """The highest-numbered committed snapshot, if any."""
+    ids = existing_bench_ids(directory)
+    if not ids:
+        return None
+    return os.path.join(os.fspath(directory), f"BENCH_{ids[-1]}.json")
+
+
+# ----------------------------------------------------------------------
+# Regression comparison
+# ----------------------------------------------------------------------
+def compare(current: dict, baseline: dict,
+            threshold: float = 0.30) -> dict:
+    """Per-app and per-cell wall-clock comparison against a baseline.
+
+    Returns a verdict dict: ``speedup`` > 1 means the current snapshot
+    is faster.  ``regressions`` lists apps slower than ``1 + threshold``
+    times the baseline — the only condition that makes ``ok`` false;
+    ``warnings`` lists smaller per-app slowdowns and per-cell noise.
+    Only keys present in both snapshots are compared, so a quick run
+    checks cleanly against a quick baseline.
+    """
+    if threshold < 0:
+        raise ValueError(f"threshold must be >= 0, got {threshold}")
+    apps: Dict[str, dict] = {}
+    regressions: List[str] = []
+    warnings: List[str] = []
+    for label in sorted(set(current["apps"]) & set(baseline["apps"])):
+        base_s = baseline["apps"][label]["wall_s"]
+        cur_s = current["apps"][label]["wall_s"]
+        speedup = base_s / cur_s if cur_s else float("inf")
+        apps[label] = {
+            "wall_s": cur_s, "baseline_wall_s": base_s,
+            "speedup": round(speedup, 4),
+        }
+        if cur_s > base_s * (1 + threshold):
+            regressions.append(
+                f"{label}: {cur_s:.2f}s vs baseline {base_s:.2f}s "
+                f"({cur_s / base_s:.2f}x slower)")
+        elif cur_s > base_s:
+            warnings.append(
+                f"{label}: {cur_s:.2f}s vs baseline {base_s:.2f}s "
+                f"(within the {threshold:.0%} noise tolerance)")
+    cell_speedups: Dict[str, float] = {}
+    for key in sorted(set(current["cells"]) & set(baseline["cells"])):
+        base_s = baseline["cells"][key]["wall_s"]
+        cur_s = current["cells"][key]["wall_s"]
+        if cur_s:
+            cell_speedups[key] = round(base_s / cur_s, 4)
+    return {
+        "threshold": threshold,
+        "apps": apps,
+        "cells": cell_speedups,
+        "regressions": regressions,
+        "warnings": warnings,
+        "ok": not regressions,
+    }
+
+
+def comparison_table(verdict: dict) -> str:
+    """Human-readable rendering of a :func:`compare` verdict."""
+    rows = [[label, f"{entry['baseline_wall_s']:.2f}",
+             f"{entry['wall_s']:.2f}", f"{entry['speedup']:.2f}x"]
+            for label, entry in verdict["apps"].items()]
+    table = render_table(["app", "baseline (s)", "current (s)", "speedup"],
+                         rows)
+    lines = ["bench comparison (wall-clock per app)", table]
+    for warning in verdict["warnings"]:
+        lines.append(f"warn: {warning}")
+    for regression in verdict["regressions"]:
+        lines.append(f"FAIL: {regression}")
+    return "\n".join(lines)
+
+
+__all__ = [
+    "CACHE_LEVELS", "QUICK_APPS", "QUICK_SCALE",
+    "compare", "comparison_table", "existing_bench_ids", "load",
+    "make_document", "next_bench_id", "previous_bench_path",
+    "quick_grid", "run_bench", "save",
+]

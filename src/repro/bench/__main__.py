@@ -1,0 +1,120 @@
+"""``python -m repro.bench`` — time the grid, emit/compare BENCH json.
+
+Exit status is non-zero only when ``--compare`` (or an auto-detected
+previous ``BENCH_*.json``) shows a per-app wall-clock regression beyond
+``--threshold``; smaller slowdowns print warnings and exit 0, keeping
+CI tolerant of runner noise.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from ..runner.harness import CASE_LABELS
+from ..runner.spec import DEFAULT_SCALES, make_spec, paper_grid
+from . import (compare, comparison_table, load, make_document, next_bench_id,
+               previous_bench_path, quick_grid, run_bench)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="Time the standard app grid and emit a BENCH_<n>.json "
+                    "perf snapshot.")
+    parser.add_argument("--quick", action="store_true",
+                        help="reduced scan-heavy smoke grid "
+                             "(select,grep,sort,tar at 0.25x scale)")
+    parser.add_argument("--apps", default=None,
+                        help="comma-separated registered app names "
+                             "(overrides the grid choice)")
+    parser.add_argument("--cases", default=None,
+                        help="comma-separated case labels "
+                             f"(default: {','.join(CASE_LABELS)})")
+    parser.add_argument("--scale", type=float, default=None,
+                        help="extra workload scale factor")
+    parser.add_argument("--seed", type=int, default=None,
+                        help="master seed override for every cell")
+    parser.add_argument("--out", default=None, metavar="FILE",
+                        help="snapshot path (default: BENCH_<next>.json "
+                             "in the current directory)")
+    parser.add_argument("--no-out", action="store_true",
+                        help="measure and compare without writing a file")
+    parser.add_argument("--compare", default=None, metavar="FILE",
+                        help="baseline BENCH json (default: the "
+                             "highest-numbered BENCH_*.json already in "
+                             "the current directory, if any)")
+    parser.add_argument("--no-compare", action="store_true",
+                        help="skip the baseline comparison entirely")
+    parser.add_argument("--threshold", type=float, default=0.30,
+                        help="per-app wall-clock regression tolerance "
+                             "(default: 0.30 = fail beyond +30%%)")
+    parser.add_argument("--json", action="store_true",
+                        help="print the full document to stdout as JSON")
+    parser.add_argument("--quiet", action="store_true",
+                        help="suppress per-cell progress lines")
+    return parser
+
+
+def _select_specs(args):
+    if args.apps is not None:
+        factor = 1.0 if args.scale is None else args.scale
+        return tuple(
+            make_spec(name.strip(),
+                      scale=DEFAULT_SCALES.get(name.strip(), 1.0) * factor)
+            for name in args.apps.split(","))
+    if args.quick:
+        return quick_grid(scale=args.scale)
+    return paper_grid(scale=args.scale)
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    specs = _select_specs(args)
+    cases = (tuple(c.strip() for c in args.cases.split(","))
+             if args.cases else CASE_LABELS)
+
+    progress = None if args.quiet else (
+        lambda line: print(line, file=sys.stderr))
+    measurements = run_bench(specs, cases=cases, seed=args.seed,
+                             progress=progress)
+    document = make_document(measurements, bench_id=next_bench_id(),
+                             quick=args.quick)
+
+    baseline_path = args.compare
+    if baseline_path is None and not args.no_compare:
+        baseline_path = previous_bench_path()
+    verdict = None
+    if baseline_path is not None and not args.no_compare:
+        baseline = load(baseline_path)
+        verdict = compare(document, baseline, threshold=args.threshold)
+        verdict["baseline"] = str(baseline_path)
+        document["comparison"] = verdict
+
+    out_path = None
+    if not args.no_out:
+        out_path = args.out or f"BENCH_{document['bench_id']}.json"
+        from . import save
+        save(document, out_path)
+
+    if args.json:
+        print(json.dumps(document, indent=2))
+    else:
+        total = sum(cell["wall_s"] for cell in document["cells"].values())
+        print(f"bench: {len(document['cells'])} cells, {total:.1f}s "
+              f"simulated wall-clock"
+              + (f" -> {out_path}" if out_path else ""))
+        if verdict is not None:
+            print(comparison_table(verdict))
+
+    if verdict is not None and not verdict["ok"]:
+        print(f"FAIL: wall-clock regression beyond "
+              f"{args.threshold:.0%} vs {verdict['baseline']}",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -113,6 +113,7 @@ class System:
                        lambda h=node.hca: h.traffic.bytes_in)
             m.register(f"hca.{node.name}.bytes_out",
                        lambda h=node.hca: h.traffic.bytes_out)
+            self._register_hierarchy(f"mem.{node.name}", node.hierarchy)
         for node in self.storage_nodes:
             for disk in node.disks.disks:
                 m.register_stats(
@@ -139,6 +140,39 @@ class System:
                        lambda: switch.send_unit.stats.bytes)
             m.register("switch.buffers.in_use",
                        lambda: switch.buffers.in_use)
+            for cpu in switch.cpus:
+                self._register_hierarchy(f"mem.{cpu.name}", cpu.hierarchy)
+
+    #: CacheStats fields exposed per cache level (shared vocabulary with
+    #: ``repro.bench``, which derives the accesses/sec rates from these).
+    _CACHE_FIELDS = ["accesses", "hits", "misses", "evictions", "writebacks"]
+
+    def _register_hierarchy(self, prefix: str, hierarchy) -> None:
+        """Cache-simulation counters for one CPU's memory hierarchy.
+
+        Every cache level, TLB, and the RDRAM behind one
+        :class:`~repro.mem.MemoryHierarchy` lands under ``mem.<cpu>.*``,
+        so traces, the golden-equivalence tests, and ``python -m
+        repro.bench`` all read the same names.
+        """
+        m = self.metrics
+        for level in ("l1d", "l1i", "l2"):
+            cache = getattr(hierarchy, level)
+            if cache is not None:
+                m.register_stats(f"{prefix}.{level}", cache.stats,
+                                 self._CACHE_FIELDS)
+        for level in ("dtlb", "itlb"):
+            tlb = getattr(hierarchy, level)
+            if tlb is not None:
+                m.register_stats(f"{prefix}.{level}", tlb.stats,
+                                 ["accesses", "misses"])
+        m.register_stats(f"{prefix}.rdram", hierarchy.memory.stats,
+                         ["accesses", "page_hits", "page_misses",
+                          "bytes_transferred"])
+        for bucket in ("load_stall_ps", "store_stall_ps",
+                       "ifetch_stall_ps", "tlb_stall_ps"):
+            m.register(f"{prefix}.{bucket}",
+                       lambda h=hierarchy, b=bucket: getattr(h, b))
 
     def attach_trace(self, collector) -> None:
         """Attach a ``repro.obs.TraceCollector``: every instrumented

@@ -65,10 +65,8 @@ def _scan(system, total_bytes: int, request_bytes: int,
     num_blocks = -(-total_bytes // request_bytes)
 
     def host_filter_stall(base):
-        stall = 0
-        for i in range(per_block_records):
-            stall += host.hierarchy.load(base + i * records.RECORD_BYTES)
-        return stall
+        return host.hierarchy.load_stride(base, records.RECORD_BYTES,
+                                          per_block_records)
 
     def driver(env):
         if placement in ("device", "two-level"):

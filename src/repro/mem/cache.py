@@ -8,11 +8,22 @@ top of the hit/miss outcomes.
 The model is write-back / write-allocate with true LRU replacement, which
 matches the level of detail the paper reports (it quotes only sizes,
 associativities and line sizes).
+
+Hot-path representation: each set is one insertion-ordered ``dict``
+mapping ``tag -> dirty bit``, LRU first and MRU last, so every access is
+O(1) — a membership probe, a ``pop`` + re-insert to touch, and
+``next(iter(set))`` to find the victim.  (The original parallel
+``tags``/``dirty`` lists paid a Python-level ``list.index`` scan per
+access, which dominated the benchmark-grid wall clock.)  The internal
+path (:meth:`_access`, :meth:`_access_run`) returns plain ints and
+commits statistics in batches; the :class:`AccessResult` dataclass
+survives as a thin wrapper on the public :meth:`access`.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import List, Tuple
 
 
 @dataclass(frozen=True)
@@ -60,11 +71,20 @@ class CacheStats:
 
 @dataclass
 class AccessResult:
-    """Outcome of a single cache access."""
+    """Outcome of a single cache access (public-API wrapper).
+
+    The internal hot path never allocates these; they are built only by
+    :meth:`Cache.access` from its int-coded result.
+    """
 
     hit: bool
     writeback: bool = False
     evicted_tag: int = field(default=-1)
+
+
+#: Bit flags of the int-coded internal access result.
+HIT = 1
+WRITEBACK = 2
 
 
 class Cache:
@@ -78,70 +98,171 @@ class Cache:
             raise ValueError(f"{config.name}: number of sets must be a power of two")
         self._set_mask = num_sets - 1
         self._line_shift = config.line_size.bit_length() - 1
-        # Per set: parallel lists of tags (most recent last) and dirty bits.
-        self._tags = [[] for _ in range(num_sets)]
-        self._dirty = [[] for _ in range(num_sets)]
+        self._tag_shift = self._set_mask.bit_length()
+        # Per set: tag -> dirty bit, insertion-ordered (LRU first).
+        self._sets: List[dict] = [{} for _ in range(num_sets)]
 
     def _locate(self, addr: int):
         line = addr >> self._line_shift
-        return line & self._set_mask, line >> (self._set_mask.bit_length())
+        return line & self._set_mask, line >> self._tag_shift
 
+    # ------------------------------------------------------------------
+    # Internal int-coded path (no allocation)
+    # ------------------------------------------------------------------
+    def _access(self, addr: int, write: bool = False) -> int:
+        """Access ``addr``; returns ``HIT`` and/or ``WRITEBACK`` flags."""
+        line = addr >> self._line_shift
+        lines = self._sets[line & self._set_mask]
+        tag = line >> self._tag_shift
+        stats = self.stats
+        stats.accesses += 1
+        if tag in lines:
+            stats.hits += 1
+            # pop + re-insert moves the tag to the MRU position.
+            lines[tag] = lines.pop(tag) or write
+            return HIT
+        stats.misses += 1
+        code = 0
+        if len(lines) >= self.config.assoc:
+            stats.evictions += 1
+            if lines.pop(next(iter(lines))):
+                stats.writebacks += 1
+                code = WRITEBACK
+        lines[tag] = write
+        return code
+
+    def _access_run(self, line_addr: int, count: int,
+                    write: bool = False) -> Tuple[List[int], int]:
+        """``count`` sequential line accesses from line-aligned ``line_addr``.
+
+        The batched fast path: sequential lines walk distinct sets, so
+        the whole run is dict probes with statistics committed once at
+        the end.  Returns ``(missed line addresses, writeback count)``
+        — exactly what a lower level needs to fill and clean up.
+        """
+        sets = self._sets
+        set_mask = self._set_mask
+        tag_shift = self._tag_shift
+        line_shift = self._line_shift
+        assoc = self.config.assoc
+        missed: List[int] = []
+        evictions = 0
+        writebacks = 0
+        line = line_addr >> line_shift
+        for line in range(line, line + count):
+            lines = sets[line & set_mask]
+            tag = line >> tag_shift
+            if tag in lines:
+                lines[tag] = lines.pop(tag) or write
+            else:
+                missed.append(line << line_shift)
+                if len(lines) >= assoc:
+                    evictions += 1
+                    if lines.pop(next(iter(lines))):
+                        writebacks += 1
+                lines[tag] = write
+        stats = self.stats
+        stats.accesses += count
+        stats.hits += count - len(missed)
+        stats.misses += len(missed)
+        stats.evictions += evictions
+        stats.writebacks += writebacks
+        return missed, writebacks
+
+    def _access_stride(self, addr: int, stride: int, count: int,
+                       write: bool = False) -> Tuple[List[int], int]:
+        """``count`` accesses at ``addr, addr+stride, ...`` in one batch.
+
+        The strided sibling of :meth:`_access_run`, for record scans
+        whose stride differs from the line size (so some lines repeat,
+        some are skipped).  Returns missed addresses aligned down to
+        their line — equivalent for every lower level, which only looks
+        at the containing line/page.
+        """
+        sets = self._sets
+        set_mask = self._set_mask
+        tag_shift = self._tag_shift
+        line_shift = self._line_shift
+        assoc = self.config.assoc
+        missed: List[int] = []
+        evictions = 0
+        writebacks = 0
+        for i in range(count):
+            line = (addr + i * stride) >> line_shift
+            lines = sets[line & set_mask]
+            tag = line >> tag_shift
+            if tag in lines:
+                lines[tag] = lines.pop(tag) or write
+            else:
+                missed.append(line << line_shift)
+                if len(lines) >= assoc:
+                    evictions += 1
+                    if lines.pop(next(iter(lines))):
+                        writebacks += 1
+                lines[tag] = write
+        stats = self.stats
+        stats.accesses += count
+        stats.hits += count - len(missed)
+        stats.misses += len(missed)
+        stats.evictions += evictions
+        stats.writebacks += writebacks
+        return missed, writebacks
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
     def access(self, addr: int, write: bool = False) -> AccessResult:
         """Access ``addr``; returns hit/miss and any writeback triggered."""
         set_index, tag = self._locate(addr)
-        tags = self._tags[set_index]
-        dirty = self._dirty[set_index]
-        self.stats.accesses += 1
-        try:
-            way = tags.index(tag)
-        except ValueError:
-            way = -1
-        if way >= 0:
-            self.stats.hits += 1
-            # Move to MRU position.
-            tags.append(tags.pop(way))
-            dirty_bit = dirty.pop(way)
-            dirty.append(dirty_bit or write)
-            return AccessResult(hit=True)
-
-        self.stats.misses += 1
-        writeback = False
+        lines = self._sets[set_index]
         evicted_tag = -1
-        if len(tags) >= self.config.assoc:
-            evicted_tag = tags.pop(0)
-            was_dirty = dirty.pop(0)
-            self.stats.evictions += 1
-            if was_dirty:
-                self.stats.writebacks += 1
-                writeback = True
-        tags.append(tag)
-        dirty.append(write)
-        return AccessResult(hit=False, writeback=writeback, evicted_tag=evicted_tag)
+        if tag not in lines and len(lines) >= self.config.assoc:
+            evicted_tag = next(iter(lines))
+        code = self._access(addr, write=write)
+        if code & HIT:
+            return AccessResult(hit=True)
+        return AccessResult(hit=False, writeback=bool(code & WRITEBACK),
+                            evicted_tag=evicted_tag)
 
     def contains(self, addr: int) -> bool:
         """True if the line holding ``addr`` is resident (no state change)."""
         set_index, tag = self._locate(addr)
-        return tag in self._tags[set_index]
+        return tag in self._sets[set_index]
+
+    def access_range(self, addr: int, nbytes: int,
+                     write: bool = False) -> Tuple[int, int]:
+        """Access every line in ``[addr, addr+nbytes)`` in one batched call.
+
+        Returns ``(misses, writebacks)``.  State and statistics evolve
+        exactly as the equivalent sequence of :meth:`access` calls.
+        """
+        line = self.config.line_size
+        first = addr - (addr % line)
+        count = (addr + nbytes - first + line - 1) // line
+        if count <= 0:
+            return 0, 0
+        missed, writebacks = self._access_run(first, count, write=write)
+        return len(missed), writebacks
 
     def touch_range(self, addr: int, nbytes: int, write: bool = False) -> int:
         """Access every line in ``[addr, addr+nbytes)``; returns miss count."""
         if nbytes <= 0:
             return 0
-        line = self.config.line_size
-        first = addr - (addr % line)
-        misses = 0
-        for line_addr in range(first, addr + nbytes, line):
-            if not self.access(line_addr, write=write).hit:
-                misses += 1
-        return misses
+        return self.access_range(addr, nbytes, write=write)[0]
 
     def flush(self) -> int:
-        """Invalidate everything; returns the number of dirty lines dropped."""
-        dirty_count = sum(sum(1 for d in bits if d) for bits in self._dirty)
-        for tags in self._tags:
-            tags.clear()
-        for bits in self._dirty:
-            bits.clear()
+        """Invalidate everything; returns the number of dirty lines.
+
+        Dirty lines leave through :attr:`CacheStats.writebacks`, the
+        same counter eviction-time write-backs use, so total traffic
+        accounting stays consistent whether a line dies by eviction or
+        by flush.
+        """
+        dirty_count = sum(sum(1 for d in lines.values() if d)
+                          for lines in self._sets)
+        for lines in self._sets:
+            lines.clear()
+        self.stats.writebacks += dirty_count
         return dirty_count
 
     def __repr__(self) -> str:

@@ -16,15 +16,28 @@ Stall semantics follow Section 4 of the paper:
 
 The embedded switch processor uses the same machinery with no L2 and no
 overlap (its caches support only one outstanding request).
+
+Range accesses (``load_range`` / ``store_range``) have a batched fast
+path that walks a whole contiguous scan in one call: the byte range is
+chunked per TLB page (one real TLB access per chunk — the per-line
+re-hits only bump the access counter), each chunk's lines go through
+:meth:`Cache._access_run` in one pass, and only the missed lines consult
+L2/memory, in the same per-line order the scalar path would.  Stall
+picoseconds and statistics accumulate in locals and commit once per
+call, so results — every counter and every stall sum — are bit-identical
+to the per-line path.  The scalar path survives as the reference
+implementation behind ``batched=False`` (or the ``REPRO_MEM_PERLINE``
+environment variable), which the golden-stats equivalence test flips.
 """
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
 from typing import Optional
 
 from ..sim.units import Clock
-from .cache import Cache, CacheConfig
+from .cache import HIT, WRITEBACK, Cache, CacheConfig
 from .rdram import Rdram, RdramConfig
 from .tlb import TLB, TLBConfig
 
@@ -60,6 +73,7 @@ class MemoryHierarchy:
         dtlb: Optional[TLB] = None,
         itlb: Optional[TLB] = None,
         timing: HierarchyTiming = HierarchyTiming(),
+        batched: Optional[bool] = None,
     ):
         self.l1d = l1d
         self.l1i = l1i
@@ -69,6 +83,21 @@ class MemoryHierarchy:
         self.memory = memory
         self.clock = clock
         self.timing = timing
+        #: Use the batched range fast path.  ``REPRO_MEM_PERLINE=1``
+        #: forces the scalar reference path for differential testing.
+        if batched is None:
+            batched = not os.environ.get("REPRO_MEM_PERLINE")
+        self.batched = batched
+        # timing and clock are immutable; precompute the L2-hit stall.
+        self._l2_hit_ps = clock.cycles(timing.l2_hit_stall_cycles)
+        # The strided fast path reports missed addresses aligned down to
+        # the L1 line; that is invisible to the lower levels only when
+        # every lower-level granularity is a multiple of the L1 line.
+        line = l1d.config.line_size
+        self._stride_batchable = (
+            memory.config.page_size % line == 0
+            and (l2 is None or l2.config.line_size % line == 0)
+            and (dtlb is None or dtlb.config.page_size % line == 0))
         #: Accumulated stall picoseconds, by cause.
         self.load_stall_ps = 0
         self.store_stall_ps = 0
@@ -80,19 +109,18 @@ class MemoryHierarchy:
     # ------------------------------------------------------------------
     def _fill(self, l1: Cache, addr: int, write: bool) -> int:
         """Stall ps for an access through ``l1`` (data or instruction)."""
-        result = l1.access(addr, write=write)
-        if result.hit:
+        if l1._access(addr, write) & HIT:
             return 0
-        line = l1.config.line_size
-        if self.l2 is not None:
-            l2_result = self.l2.access(addr, write=write)
-            if l2_result.writeback:
+        l2 = self.l2
+        if l2 is not None:
+            code = l2._access(addr, write)
+            if code & WRITEBACK:
                 # Write-back to memory happens off the critical path.
-                self.memory.stream(self.l2.config.line_size)
-            if l2_result.hit:
-                return self.clock.cycles(self.timing.l2_hit_stall_cycles)
+                self.memory.stream(l2.config.line_size)
+            if code & HIT:
+                return self._l2_hit_ps
         # Miss to memory: stall until the first double-word arrives.
-        return self.memory.access(addr, nbytes=line)
+        return self.memory.access(addr, nbytes=l1.config.line_size)
 
     def _translate(self, tlb: Optional[TLB], addr: int) -> int:
         """Stall ps for address translation (0 on TLB hit)."""
@@ -141,6 +169,8 @@ class MemoryHierarchy:
 
     def load_range(self, addr: int, nbytes: int) -> int:
         """Sequential loads touching every line of a byte range."""
+        if self.batched:
+            return self._scan_range(addr, nbytes, write=False)
         line = self.l1d.config.line_size
         stall = 0
         first = addr - (addr % line)
@@ -150,12 +180,143 @@ class MemoryHierarchy:
 
     def store_range(self, addr: int, nbytes: int) -> int:
         """Sequential stores touching every line of a byte range."""
+        if self.batched:
+            return self._scan_range(addr, nbytes, write=True)
         line = self.l1d.config.line_size
         stall = 0
         first = addr - (addr % line)
         for line_addr in range(first, addr + nbytes, line):
             stall += self.store(line_addr)
         return stall
+
+    def load_stride(self, addr: int, stride: int, count: int) -> int:
+        """``count`` loads at ``addr, addr+stride, ...`` (record scans)."""
+        if self.batched and self._stride_batchable and stride > 0:
+            return self._scan_stride(addr, stride, count, write=False)
+        stall = 0
+        for i in range(count):
+            stall += self.load(addr + i * stride)
+        return stall
+
+    def store_stride(self, addr: int, stride: int, count: int) -> int:
+        """``count`` stores at ``addr, addr+stride, ...``."""
+        if self.batched and self._stride_batchable and stride > 0:
+            return self._scan_stride(addr, stride, count, write=True)
+        stall = 0
+        for i in range(count):
+            stall += self.store(addr + i * stride)
+        return stall
+
+    def _consult_lower(self, missed, write: bool) -> int:
+        """L2/memory stall for a batch of missed L1 lines, in order.
+
+        Shared tail of the batched scans; store misses keep per-line
+        overlap rounding.
+        """
+        l2 = self.l2
+        memory = self.memory
+        line = self.l1d.config.line_size
+        overlap = self.timing.store_overlap_factor
+        stall = 0
+        if l2 is None:
+            if write:
+                for maddr in missed:
+                    stall += round(memory.access(maddr, line) * overlap)
+            else:
+                for maddr in missed:
+                    stall += memory.access(maddr, line)
+            return stall
+        l2_hit_ps = self._l2_hit_ps
+        l2_line = l2.config.line_size
+        for maddr in missed:
+            code = l2._access(maddr, write=write)
+            if code & HIT:
+                ps = l2_hit_ps
+            else:
+                if code & WRITEBACK:
+                    # Off the critical path, bandwidth accounted.
+                    memory.stream(l2_line)
+                ps = memory.access(maddr, line)
+            stall += round(ps * overlap) if write else ps
+        return stall
+
+    def _scan_stride(self, addr: int, stride: int, count: int,
+                     write: bool) -> int:
+        """Batched strided scan, bit-identical to the scalar loop."""
+        if count <= 0:
+            return 0
+        l1d = self.l1d
+        tlb = self.dtlb
+        page_size = tlb.config.page_size if tlb is not None else 0
+        tlb_stall = 0
+        fill_stall = 0
+        pos = addr
+        remaining = count
+        while remaining:
+            if tlb is not None:
+                page_end = (pos // page_size + 1) * page_size
+                chunk = min(remaining, -(-(page_end - pos) // stride))
+                tlb_stall += self._translate(tlb, pos)
+                tlb.stats.accesses += chunk - 1
+            else:
+                chunk = remaining
+            missed, _ = l1d._access_stride(pos, stride, chunk, write=write)
+            fill_stall += self._consult_lower(missed, write)
+            pos += chunk * stride
+            remaining -= chunk
+        self.tlb_stall_ps += tlb_stall
+        if write:
+            self.store_stall_ps += fill_stall
+        else:
+            self.load_stall_ps += fill_stall
+        return tlb_stall + fill_stall
+
+    def _scan_range(self, addr: int, nbytes: int, write: bool) -> int:
+        """Batched walk of every line in ``[addr, addr+nbytes)``.
+
+        Bit-identical to the scalar loop: the range is chunked per TLB
+        page, one real TLB access covers each chunk (the remaining
+        same-page accesses are hits that only move an already-MRU entry,
+        so they collapse to an access-counter bump), the L1 pass is one
+        :meth:`Cache._access_run`, and the missed lines consult L2 and
+        memory in ascending line order — the order the scalar path
+        produces.  Store misses keep the *per-line* overlap rounding.
+        """
+        l1d = self.l1d
+        line = l1d.config.line_size
+        first = addr - (addr % line)
+        end = addr + nbytes
+        count = (end - first + line - 1) // line if end > first else 0
+        if count <= 0:
+            return 0
+        tlb = self.dtlb
+        page_size = tlb.config.page_size if tlb is not None else 0
+        tlb_stall = 0
+        fill_stall = 0
+        pos = first
+        remaining = count
+        while remaining:
+            if tlb is not None:
+                page_end = (pos // page_size + 1) * page_size
+                chunk = min(remaining, (page_end - pos + line - 1) // line)
+                # One real translation covers the chunk; the page-table
+                # walk on a miss goes through the caches before the
+                # chunk's own L1 accesses, exactly as the scalar path
+                # orders it.
+                tlb_stall += self._translate(tlb, pos)
+                tlb.stats.accesses += chunk - 1
+            else:
+                chunk = remaining
+            missed, _ = l1d._access_run(pos, chunk, write=write)
+            fill_stall += self._consult_lower(missed, write)
+            pos += chunk * line
+            remaining -= chunk
+        self.tlb_stall_ps += tlb_stall
+        if write:
+            self.store_stall_ps += fill_stall
+        else:
+            self.load_stall_ps += fill_stall
+        return tlb_stall + fill_stall
 
     @property
     def total_stall_ps(self) -> int:
@@ -185,6 +346,7 @@ def build_host_hierarchy(
     memory: Optional[Rdram] = None,
     timing: HierarchyTiming = HierarchyTiming(),
     extra_scale_divisor: int = 1,
+    batched: Optional[bool] = None,
 ) -> MemoryHierarchy:
     """The paper's host hierarchy.
 
@@ -218,12 +380,14 @@ def build_host_hierarchy(
         memory=memory if memory is not None else Rdram(RdramConfig()),
         clock=clock,
         timing=timing,
+        batched=batched,
     )
 
 
 def build_switch_hierarchy(
     clock: Clock,
     memory: Optional[Rdram] = None,
+    batched: Optional[bool] = None,
 ) -> MemoryHierarchy:
     """The embedded switch CPU hierarchy.
 
@@ -240,4 +404,5 @@ def build_switch_hierarchy(
         memory=memory if memory is not None else Rdram(RdramConfig()),
         clock=clock,
         timing=timing,
+        batched=batched,
     )

@@ -59,6 +59,10 @@ class Rdram:
         self.stats = RdramStats()
         self._open_pages = [-1] * config.num_banks
         self._page_shift = config.page_size.bit_length() - 1
+        # Burst time is a pure function of nbytes; line fills use only a
+        # handful of sizes, so memoise instead of recomputing the float
+        # division + rounding on every access.
+        self._burst_ps: dict = {}
 
     def access(self, addr: int, nbytes: int = 128) -> int:
         """Latency of one line fill/writeback at ``addr``."""
@@ -76,7 +80,11 @@ class Rdram:
             self._open_pages[bank] = page
             latency = self.config.page_miss_ps
         # Data burst after the access latency.
-        return latency + transfer_ps(nbytes, self.config.bandwidth_bytes_per_s)
+        burst = self._burst_ps.get(nbytes)
+        if burst is None:
+            burst = self._burst_ps[nbytes] = transfer_ps(
+                nbytes, self.config.bandwidth_bytes_per_s)
+        return latency + burst
 
     def stream(self, nbytes: int) -> int:
         """Bandwidth-limited time for a large sequential transfer."""

@@ -152,6 +152,35 @@ class Report:
                             + render_timeline(collector, width=width))
         return "\n\n".join(sections)
 
+    def profile(self, case: Optional[str] = None, top: int = 10,
+                sort: str = "cumulative") -> str:
+        """Top-N profile entries (``repro.run(..., profile=True)``).
+
+        Renders the ``top`` hottest functions per profiled case (or just
+        ``case``), sorted by ``sort`` (any :mod:`pstats` sort key, e.g.
+        ``"cumulative"`` or ``"tottime"``).  Empty string when the
+        result carries no profiles — profiling is opt-in, so unprofiled
+        reports simply omit this section.
+        """
+        profiles = (getattr(self.result, "stats", None) or {}).get("profiles")
+        if not profiles:
+            return ""
+        import io
+        import pstats
+        labels = [case] if case is not None else list(profiles)
+        sections = []
+        for label in labels:
+            path = profiles[label]
+            buffer = io.StringIO()
+            stats = pstats.Stats(path, stream=buffer)
+            stats.sort_stats(sort).print_stats(top)
+            body = "\n".join(
+                line for line in buffer.getvalue().splitlines()
+                if line.strip())
+            sections.append(f"{self.result.name} [{label}]: "
+                            f"profile ({path})\n{body}")
+        return "\n\n".join(sections)
+
     def render(self) -> str:
         """Every non-empty section, blank-line separated."""
         sections = [self.performance(), self.breakdown(),

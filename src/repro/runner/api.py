@@ -89,6 +89,7 @@ def run(app, cases: Optional[Sequence[str]] = None, *,
         show_progress: Optional[bool] = None,
         progress: Optional[Progress] = None,
         trace=None,
+        profile: bool = False,
         **params) -> RunResult:
     """Run ``app`` through the experiment harness.
 
@@ -118,10 +119,25 @@ def run(app, cases: Optional[Sequence[str]] = None, *,
         cache — a cache hit would skip the simulation a trace observes.
         The measured ``CaseResult``s are identical with or without
         tracing (see docs/observability.md).
+    profile:
+        ``True`` to run each case under :mod:`cProfile`, dumping one
+        ``.pstats`` file per case next to the result cache (under
+        ``<cache dir>/profiles/``).  ``result.report().profile()``
+        renders the top entries; the raw paths are in
+        ``result.stats["profiles"]``.  Profiling forces serial
+        in-process execution and bypasses the cache, like tracing.
     """
     parallel = _default("parallel", parallel)
     cache = _default("cache", cache)
     show_progress = _default("show_progress", show_progress)
+
+    if profile:
+        if trace:
+            raise ValueError("profile=True and trace are mutually "
+                             "exclusive; run them separately")
+        return _run_profiled(app, cases=cases, seed=seed, name=name,
+                             preset=preset, overrides=overrides,
+                             params=params)
 
     if trace:
         return _run_traced(app, cases=cases, seed=seed, name=name,
@@ -222,6 +238,58 @@ def _run_traced(app, *, cases: Optional[Sequence[str]],
                             "cache_hits": 0, "spec": spec,
                             "trace_path": trace_path},
                      traces=collectors)
+
+
+def _run_profiled(app, *, cases: Optional[Sequence[str]],
+                  seed: Optional[int], name: Optional[str],
+                  preset: Optional[str], overrides: Optional[dict],
+                  params: dict) -> RunResult:
+    """Profiled path: serial, in-process, uncached — one cProfile per
+    case, dumped as pstats next to the result cache."""
+    import cProfile
+    from dataclasses import replace
+
+    from .cache import default_cache_dir
+
+    factory = callable(app) and not isinstance(app, type)
+    spec = None
+    if factory:
+        if params or preset or overrides:
+            raise TypeError(
+                "factory callables take no spec parameters; pass a "
+                "registered name or application class instead")
+    else:
+        spec = make_spec(app, preset=preset, overrides=overrides, **params)
+
+    profile_dir = default_cache_dir() / "profiles"
+    profile_dir.mkdir(parents=True, exist_ok=True)
+    labels = tuple(cases) if cases is not None else CASE_LABELS
+    results: Dict[str, CaseResult] = {}
+    profiles: Dict[str, str] = {}
+    app_name = name
+    for label in labels:
+        instance = app() if factory else spec.build()
+        if app_name is None:
+            app_name = instance.name
+        config = (instance.cluster_config() if factory
+                  else spec.base_config(instance))
+        if seed is not None:
+            config = replace(config, seed=seed)
+        config = config.with_case(active=label.startswith("active"),
+                                  prefetch=label.endswith("+pref"))
+        profiler = cProfile.Profile()
+        profiler.enable()
+        try:
+            results[label] = instance.run_case(config)
+        finally:
+            profiler.disable()
+        path = profile_dir / f"{app_name}-{label}.pstats"
+        profiler.dump_stats(path)
+        profiles[label] = str(path)
+    return RunResult(name=app_name or "benchmark", cases=results,
+                     stats={"parallel": 1, "cache_dir": None,
+                            "cache_hits": 0, "spec": spec,
+                            "profiles": profiles})
 
 
 def run_many(specs: Sequence, *,

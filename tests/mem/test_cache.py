@@ -104,6 +104,92 @@ def test_flush_empties_cache():
     assert not cache.contains(0x100)
 
 
+def test_flush_reports_dirty_lines_as_writebacks():
+    """A line dying by flush counts in the same writeback traffic
+    counter as a line dying by eviction."""
+    cache = make_cache(size=4096, line=32, assoc=2)
+    cache.access(0x0, write=True)
+    cache.access(0x40, write=True)
+    cache.access(0x80)
+    assert cache.stats.writebacks == 0
+    assert cache.flush() == 2
+    assert cache.stats.writebacks == 2
+    # A second flush finds nothing dirty.
+    assert cache.flush() == 0
+    assert cache.stats.writebacks == 2
+
+
+def test_flush_then_eviction_writebacks_accumulate():
+    cache = make_cache(size=64, line=32, assoc=2)  # 1 set
+    cache.access(0x0, write=True)
+    cache.flush()
+    cache.access(0x0, write=True)
+    cache.access(0x20)
+    cache.access(0x40)  # evicts dirty 0x0
+    assert cache.stats.writebacks == 2
+
+
+def test_single_set_geometry():
+    """num_sets == 1: the whole cache is one LRU stack."""
+    cache = make_cache(size=128, line=32, assoc=4)
+    assert cache.config.num_sets == 1
+    for addr in (0x0, 0x20, 0x40, 0x60):
+        assert not cache.access(addr).hit
+    for addr in (0x0, 0x20, 0x40, 0x60):
+        assert cache.contains(addr)
+    cache.access(0x0)                 # touch A -> LRU is 0x20
+    assert not cache.access(0x80).hit  # evicts 0x20
+    assert cache.contains(0x0)
+    assert not cache.contains(0x20)
+    assert cache.stats.evictions == 1
+
+
+def test_single_set_range_walk():
+    cache = make_cache(size=128, line=32, assoc=4)
+    misses, writebacks = cache.access_range(0, 256, write=True)
+    assert misses == 8
+    # 8 lines through a 4-way single set: 4 dirty evictions.
+    assert writebacks == 4
+    assert cache.stats.evictions == 4
+
+
+def test_assoc_1_direct_mapped():
+    """assoc == 1: any set conflict evicts immediately."""
+    cache = make_cache(size=64, line=32, assoc=1)
+    assert cache.config.num_sets == 2
+    assert not cache.access(0x0).hit
+    assert cache.access(0x0).hit
+    result = cache.access(0x40)  # same set as 0x0 (2 sets, 32 B lines)
+    assert not result.hit
+    assert not cache.contains(0x0)
+    assert cache.contains(0x40)
+    assert cache.stats.evictions == 1
+
+
+def test_assoc_1_dirty_conflict_writes_back():
+    cache = make_cache(size=64, line=32, assoc=1)
+    cache.access(0x0, write=True)
+    result = cache.access(0x40)
+    assert result.writeback
+    assert cache.stats.writebacks == 1
+
+
+def test_assoc_1_range_matches_scalar():
+    """access_range on a direct-mapped cache equals per-line accesses."""
+    batched = make_cache(size=64, line=32, assoc=1)
+    scalar = make_cache(size=64, line=32, assoc=1)
+    for base in (0, 64, 0, 128):
+        misses, writebacks = batched.access_range(base, 128, write=True)
+        s_misses = s_writebacks = 0
+        for addr in range(base, base + 128, 32):
+            result = scalar.access(addr, write=True)
+            s_misses += 0 if result.hit else 1
+            s_writebacks += 1 if result.writeback else 0
+        assert (misses, writebacks) == (s_misses, s_writebacks)
+    assert vars(batched.stats) == vars(scalar.stats)
+    assert batched._sets == scalar._sets
+
+
 def test_stats_accumulate():
     cache = make_cache()
     cache.access(0x0)
@@ -159,7 +245,7 @@ def test_property_stats_invariants(addrs, writes):
         cache.access(addr, write=write)
     stats = cache.stats
     assert stats.hits + stats.misses == stats.accesses
-    assert all(len(tags) <= 2 for tags in cache._tags)
+    assert all(len(lines) <= 2 for lines in cache._sets)
     assert stats.writebacks <= stats.evictions
 
 

@@ -128,3 +128,61 @@ def test_sequential_scan_misses_at_line_granularity():
     assert hier.l1d.stats.misses == 129
     # L2 fetches 128 B lines: 32 scan misses + 1 page-walk miss.
     assert hier.l2.stats.misses == 33
+
+
+# ----------------------------------------------------------------------
+# Batched fast path vs scalar reference path
+# ----------------------------------------------------------------------
+def _state(hier):
+    """Every observable counter and the full cache/TLB/memory state."""
+    state = {
+        "load": hier.load_stall_ps, "store": hier.store_stall_ps,
+        "ifetch": hier.ifetch_stall_ps, "tlb": hier.tlb_stall_ps,
+    }
+    for name in ("l1d", "l1i", "l2"):
+        cache = getattr(hier, name)
+        if cache is not None:
+            state[name] = (vars(cache.stats), cache._sets)
+    for name in ("dtlb", "itlb"):
+        tlb = getattr(hier, name)
+        if tlb is not None:
+            state[name] = (vars(tlb.stats), list(tlb._pages))
+    state["mem"] = (vars(hier.memory.stats), hier.memory._open_pages)
+    return state
+
+
+@pytest.mark.parametrize("build", [build_host_hierarchy,
+                                   build_switch_hierarchy])
+@pytest.mark.parametrize("write", [False, True])
+def test_batched_range_matches_scalar(build, write):
+    clock = HOST_CLOCK if build is build_host_hierarchy else SWITCH_CLOCK
+    fast = build(clock)
+    ref = build(clock)
+    ref.batched = False
+    op_fast = fast.store_range if write else fast.load_range
+    op_ref = ref.store_range if write else ref.load_range
+    # Unaligned starts, page-boundary straddles, re-scans, empty ranges.
+    spans = [(0x100010, 5000), (0x100010, 5000), (0x200000, 32),
+             (0x0FF0, 64), (0x300007, 0), (0x7FFE0, 100000)]
+    for addr, nbytes in spans:
+        assert op_fast(addr, nbytes) == op_ref(addr, nbytes)
+        assert _state(fast) == _state(ref)
+
+
+@pytest.mark.parametrize("stride", [4, 32, 100, 4096, 5000])
+def test_batched_stride_matches_scalar(stride):
+    fast = build_host_hierarchy(HOST_CLOCK)
+    ref = build_host_hierarchy(HOST_CLOCK)
+    ref.batched = False
+    for addr, count in [(0x100013, 700), (0x100013, 700), (0x5000, 1)]:
+        assert (fast.load_stride(addr, stride, count)
+                == ref.load_stride(addr, stride, count))
+        assert (fast.store_stride(addr, stride, count)
+                == ref.store_stride(addr, stride, count))
+        assert _state(fast) == _state(ref)
+
+
+def test_stride_zero_count_is_noop():
+    hier = build_host_hierarchy(HOST_CLOCK)
+    assert hier.load_stride(0x1000, 100, 0) == 0
+    assert hier.l1d.stats.accesses == 0

@@ -83,3 +83,29 @@ def test_top_level_exports():
     assert repro.configure is configure
     for case_name in ("Tracer", "ResultCache", "paper_grid", "RunResult"):
         assert hasattr(repro, case_name)
+
+
+def test_profile_run_dumps_pstats(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+    plain = run("grep", scale=0.05, cases=["normal", "active"])
+    result = run("grep", scale=0.05, cases=["normal", "active"],
+                 profile=True)
+    # Profiling never perturbs the measurement.
+    assert result.cases == plain.cases
+    profiles = result.stats["profiles"]
+    assert set(profiles) == {"normal", "active"}
+    for label, path in profiles.items():
+        assert (tmp_path / "cache" / "profiles").samefile(
+            __import__("pathlib").Path(path).parent)
+        assert path.endswith(f"grep-{label}.pstats")
+    rendered = result.report().profile(top=5)
+    assert "grep [normal]: profile" in rendered
+    assert "run_case" in rendered
+    # Single-case rendering and the unprofiled empty string.
+    assert "active" in result.report().profile(case="active")
+    assert plain.report().profile() == ""
+
+
+def test_profile_and_trace_are_exclusive():
+    with pytest.raises(ValueError):
+        run("grep", scale=0.05, profile=True, trace=True)
