@@ -83,7 +83,7 @@ from .runner import (
 from .sim import Environment, Tracer
 from .switch import ActiveSwitch, ActiveSwitchConfig, BaseSwitch
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 #: Authoritative public surface: `import *`, the docs' API reference,
 #: and tests/test_public_api.py all derive from this list.

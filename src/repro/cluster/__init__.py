@@ -1,10 +1,14 @@
-"""Cluster assembly: configuration, nodes, system builder, I/O streams."""
+"""Cluster assembly: configuration, nodes, system builder, I/O streams,
+multi-stage fabrics, and handler placement."""
 
 from .config import CASE_ORDER, ClusterConfig, case_configs, four_cases
+from .fabric import TopologySpec, build_fabric
 from .iostream import BlockArrival, ReadStream, WriteStream
 from .node import ComputeNode, StorageNode
+from .placement import PLACEMENT_POLICIES, PlacementPlan, plan_placement
 from .presets import PRESETS, get_preset
 from .system import System
+from .topology import SwitchTree, TopologyError
 
 __all__ = [
     "CASE_ORDER",
@@ -19,4 +23,11 @@ __all__ = [
     "PRESETS",
     "get_preset",
     "System",
+    "SwitchTree",
+    "TopologyError",
+    "TopologySpec",
+    "build_fabric",
+    "PLACEMENT_POLICIES",
+    "PlacementPlan",
+    "plan_placement",
 ]

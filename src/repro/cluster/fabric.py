@@ -1,0 +1,376 @@
+"""Declarative multi-stage SAN fabrics.
+
+The paper evaluates one active switch; its Section 6 sketches how the
+design scales out — "we can organize the switches logically in a tree"
+— and real system-area networks of the era (and since) are built as
+multi-stage fabrics: trees for aggregation, folded-Clos/fat-tree
+leaf-spine cores for bandwidth.  This module turns a declarative
+:class:`TopologySpec` into a fully wired fabric of active switches,
+links, and HCAs with consistent routing tables:
+
+* ``kind="tree"`` — a multi-level aggregation tree (the paper's
+  Section 6 shape) with configurable internal ``radix``;
+* ``kind="fat_tree"`` — a two-stage leaf-spine Clos: every leaf
+  connects to every spine, and cross-leaf traffic spreads across the
+  spines with deterministic ECMP (flow-hashed, so a message's packets
+  stay in order and runs reproduce bit for bit).
+
+Both expose the same :class:`Fabric` interface — ``hosts``, ``levels``,
+``aggregation_root``, ``leaf_of``, ``path`` tracing, and ``validate()``
+— which is what the handler-placement engine
+(:mod:`repro.cluster.placement`) programs against.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from ..net.hca import HCA, HcaConfig
+from ..net.link import Link
+from ..sim.core import Environment
+from ..switch.active import ActiveSwitch
+from ..switch.base import SwitchConfig
+from .config import ClusterConfig
+from .node import ComputeNode
+from .topology import SwitchTree, TopologyError, TreeSwitch
+from .validation import validate_fabric
+
+#: Recognized topology kinds.
+TOPOLOGY_KINDS = ("single", "tree", "fat_tree")
+
+
+@dataclass(frozen=True)
+class TopologySpec:
+    """Declarative description of a fabric shape.
+
+    Frozen and hashable, so it can ride inside an
+    :class:`~repro.runner.AppSpec` and fingerprint a run.
+    ``oversubscription`` is the leaf-spine ratio ``hosts_per_leaf /
+    spines`` (1.0 = full bisection); ``spines`` wins when both given.
+    """
+
+    kind: str = "tree"
+    num_hosts: int = 64
+    hosts_per_leaf: int = 8
+    switch_ports: int = 16
+    #: Internal fan-in of tree levels (None -> hosts_per_leaf).
+    radix: Optional[int] = None
+    #: Fat-tree core width (None -> derived from oversubscription).
+    spines: Optional[int] = None
+    oversubscription: float = 2.0
+
+    def __post_init__(self):
+        if self.kind not in TOPOLOGY_KINDS:
+            raise TopologyError(
+                f"unknown topology kind {self.kind!r}; "
+                f"expected one of {TOPOLOGY_KINDS}")
+        if self.num_hosts < 1:
+            raise TopologyError("need at least one host")
+        if self.oversubscription <= 0:
+            raise TopologyError("oversubscription must be positive")
+
+    @property
+    def num_leaves(self) -> int:
+        return -(-self.num_hosts // self.hosts_per_leaf)
+
+    @property
+    def num_spines(self) -> int:
+        """Resolved fat-tree core width."""
+        if self.spines is not None:
+            return self.spines
+        return max(1, int(math.ceil(
+            self.hosts_per_leaf / self.oversubscription)))
+
+
+class Fabric:
+    """A wired multi-switch fabric with hosts on the leaves.
+
+    ``levels[0]`` are the leaf switches; ``levels[-1]`` is the top of
+    the fabric.  Concrete shapes (:class:`TreeFabric`,
+    :class:`FatTreeFabric`) fill in the wiring; the shared interface is
+    everything the placement engine and the experiments need.
+    """
+
+    def __init__(self, env: Environment, spec: TopologySpec,
+                 cluster_config: Optional[ClusterConfig] = None,
+                 hca_config: Optional[HcaConfig] = None,
+                 injector=None):
+        self.env = env
+        self.spec = spec
+        self.cluster_config = cluster_config or ClusterConfig()
+        self.hca_config = hca_config or self.cluster_config.hca
+        self.injector = injector
+        self.hosts: List[ComputeNode] = []
+        self.levels: List[List[TreeSwitch]] = []
+
+    # -- interface -----------------------------------------------------
+    @property
+    def switches(self) -> List[TreeSwitch]:
+        return [node for level in self.levels for node in level]
+
+    @property
+    def depth(self) -> int:
+        return len(self.levels)
+
+    @property
+    def aggregation_root(self) -> TreeSwitch:
+        """The switch where hierarchical aggregation finalizes."""
+        return self.levels[-1][0]
+
+    def leaf_of(self, host: ComputeNode) -> TreeSwitch:
+        for leaf in self.levels[0]:
+            if host in leaf.hosts:
+                return leaf
+        raise ValueError(f"{host.name} not in this fabric")
+
+    def path(self, src: str, dst: str) -> List[str]:
+        """Switch names a ``src -> dst`` packet traverses, in order.
+
+        Walks the real routing tables with the same flow key the
+        switches use, so the trace matches simulation exactly (ECMP
+        included).  Raises :class:`TopologyError` on a routing loop.
+        """
+        by_name = {node.name: node for node in self.switches}
+        entry = None
+        for leaf in self.levels[0]:
+            for host in leaf.hosts:
+                if host.name == src:
+                    entry = leaf
+        if entry is None:
+            entry = by_name.get(src)
+        if entry is None:
+            raise ValueError(f"unknown source {src!r}")
+        hops: List[str] = []
+        current = entry
+        limit = len(self.switches) + 1
+        while True:
+            hops.append(current.name)
+            if current.name == dst:
+                return hops
+            if len(hops) > limit:
+                raise TopologyError(
+                    f"routing loop tracing {src} -> {dst}: {hops}")
+            port = current.switch.routing.lookup(dst, flow_key=(src, dst))
+            link = current.switch._tx_links[port]
+            if link is None:
+                raise TopologyError(
+                    f"{current.name} routes {dst} to unconnected port {port}")
+            _, _, neighbor = link.name.partition("->")
+            if neighbor == dst:
+                return hops
+            nxt = by_name.get(neighbor)
+            if nxt is None:
+                raise TopologyError(
+                    f"{current.name} routes {dst} off-fabric via {neighbor}")
+            current = nxt
+
+    def describe(self) -> dict:
+        """Shape summary for reports and metric labels."""
+        return {
+            "kind": self.spec.kind,
+            "hosts": len(self.hosts),
+            "levels": [len(level) for level in self.levels],
+            "switches": len(self.switches),
+            "depth": self.depth,
+        }
+
+    def validate(self) -> None:
+        raise NotImplementedError
+
+    # -- shared wiring helpers -----------------------------------------
+    def _make_hosts(self) -> None:
+        for i in range(self.spec.num_hosts):
+            node = ComputeNode(self.env, f"host{i}", self.cluster_config)
+            node.hca = HCA(self.env, node.name, node.cpu,
+                           config=self.hca_config)
+            self.hosts.append(node)
+
+    def _link(self, src: str, dst: str) -> Link:
+        link = Link(self.env, f"{src}->{dst}", self.cluster_config.link)
+        if self.injector is not None:
+            link.attach_faults(self.injector)
+        return link
+
+    def _new_switch(self, name: str, level: int) -> TreeSwitch:
+        config = SwitchConfig(
+            num_ports=self.spec.switch_ports,
+            routing_latency_ps=self.cluster_config.switch.routing_latency_ps)
+        switch = ActiveSwitch(self.env, name, config,
+                              self.cluster_config.active_switch)
+        if self.injector is not None:
+            switch.attach_faults(self.injector)
+        return TreeSwitch(switch=switch, level=level)
+
+    def _wire_host(self, leaf: TreeSwitch, port: int,
+                   host: ComputeNode) -> None:
+        to_switch = self._link(host.name, leaf.name)
+        from_switch = self._link(leaf.name, host.name)
+        host.hca.attach(tx_link=to_switch, rx_link=from_switch)
+        leaf.switch.connect(port, tx_link=from_switch, rx_link=to_switch)
+        leaf.switch.routing.add(host.name, port)
+        leaf.hosts.append(host)
+        leaf.subtree_hosts.append(host.name)
+
+
+class TreeFabric(Fabric):
+    """Multi-level aggregation tree (wraps :class:`SwitchTree`)."""
+
+    def __init__(self, env, spec, cluster_config=None, hca_config=None,
+                 injector=None):
+        super().__init__(env, spec, cluster_config, hca_config, injector)
+        self.tree = SwitchTree(
+            env, num_hosts=spec.num_hosts,
+            hosts_per_leaf=spec.hosts_per_leaf,
+            switch_ports=spec.switch_ports,
+            cluster_config=self.cluster_config,
+            hca_config=self.hca_config,
+            radix=spec.radix,
+            injector=injector)
+        self.hosts = self.tree.hosts
+        self.levels = self.tree.levels
+
+    def validate(self) -> None:
+        self.tree.validate()
+
+
+class SingleFabric(TreeFabric):
+    """One switch, all hosts attached — the paper's base configuration.
+
+    A degenerate tree (``hosts_per_leaf`` wide enough for every host),
+    used as the baseline the scale-out shapes are compared against.
+    """
+
+    def __init__(self, env, spec, cluster_config=None, hca_config=None,
+                 injector=None):
+        ports = max(spec.switch_ports, spec.num_hosts + 1)
+        flat = TopologySpec(kind="tree", num_hosts=spec.num_hosts,
+                            hosts_per_leaf=max(spec.num_hosts, 1),
+                            switch_ports=ports)
+        super().__init__(env, flat, cluster_config, hca_config, injector)
+        self.spec = spec
+
+
+class FatTreeFabric(Fabric):
+    """Two-stage folded Clos: leaves below, spines above, full mesh.
+
+    Leaf ``l`` wires hosts on ports ``0..h-1`` and spines on ports
+    ``h..h+S-1``; spine ``s`` wires leaf ``l`` on port ``l``.  Leaves
+    route local hosts down and everything else across an ECMP group of
+    all spine uplinks; spines route every leaf's hosts (and the leaf
+    names) down the matching port.  Nothing has a default port, so an
+    unroutable destination fails loudly instead of ping-ponging.
+    """
+
+    def __init__(self, env, spec, cluster_config=None, hca_config=None,
+                 injector=None):
+        super().__init__(env, spec, cluster_config, hca_config, injector)
+        h, S, L = spec.hosts_per_leaf, spec.num_spines, spec.num_leaves
+        if h + S > spec.switch_ports:
+            raise TopologyError(
+                f"leaf needs {h} host ports + {S} spine uplinks "
+                f"> {spec.switch_ports} switch ports; lower hosts_per_leaf, "
+                f"raise oversubscription, or use bigger switches")
+        if L > spec.switch_ports:
+            raise TopologyError(
+                f"{L} leaves exceed a spine's {spec.switch_ports} ports; "
+                f"raise hosts_per_leaf or use bigger switches")
+        self._make_hosts()
+
+        leaves = [self._new_switch(f"leaf{l}", 0) for l in range(L)]
+        spines = [self._new_switch(f"spine{s}", 1) for s in range(S)]
+        self.levels = [leaves, spines]
+
+        for l, leaf in enumerate(leaves):
+            for offset, host in enumerate(
+                    self.hosts[l * h:(l + 1) * h]):
+                self._wire_host(leaf, offset, host)
+        for s, spine in enumerate(spines):
+            spine.subtree_hosts = [host.name for host in self.hosts]
+            spine.children = list(leaves)
+            for l, leaf in enumerate(leaves):
+                up = self._link(leaf.name, spine.name)
+                down = self._link(spine.name, leaf.name)
+                leaf.switch.connect(h + s, tx_link=up, rx_link=down)
+                spine.switch.connect(l, tx_link=down, rx_link=up)
+                leaf.switch.routing.add(spine.name, h + s)
+                spine.switch.routing.add(leaf.name, l)
+                spine.switch.routing.add_many(leaf.subtree_hosts, l)
+
+        uplinks = tuple(range(h, h + S))
+        for leaf in leaves:
+            attached = set(leaf.subtree_hosts)
+            remote = [host.name for host in self.hosts
+                      if host.name not in attached]
+            leaf.switch.routing.add_group_many(remote, uplinks)
+            leaf.switch.routing.add_group_many(
+                [other.name for other in leaves if other is not leaf],
+                uplinks)
+
+    def validate(self) -> None:
+        spec = self.spec
+        problems: List[str] = []
+        wired = sum(len(leaf.hosts) for leaf in self.levels[0])
+        if wired != spec.num_hosts:
+            problems.append(f"{wired} hosts wired, "
+                            f"expected {spec.num_hosts}")
+        for leaf in self.levels[0]:
+            expected = len(leaf.hosts) + spec.num_spines
+            connected = len(leaf.switch.connected_ports())
+            if connected != expected:
+                problems.append(
+                    f"{leaf.name}: {connected} connected ports, expected "
+                    f"{len(leaf.hosts)} hosts + {spec.num_spines} uplinks")
+        for spine in self.levels[1]:
+            connected = len(spine.switch.connected_ports())
+            if connected != spec.num_leaves:
+                problems.append(
+                    f"{spine.name}: {connected} connected ports, "
+                    f"expected {spec.num_leaves} leaf downlinks")
+            if spine.fan_in != spec.num_leaves:
+                problems.append(
+                    f"{spine.name}: fan_in {spine.fan_in} != "
+                    f"{spec.num_leaves} leaves")
+        for issue in validate_fabric(
+                [node.switch for node in self.switches],
+                [host.hca for host in self.hosts]):
+            problems.append(str(issue))
+        if problems:
+            raise TopologyError(
+                f"inconsistent fat-tree ({spec.num_hosts} hosts, "
+                f"{spec.num_leaves} leaves x {spec.num_spines} spines):\n  "
+                + "\n  ".join(problems))
+
+
+_FABRICS = {
+    "single": SingleFabric,
+    "tree": TreeFabric,
+    "fat_tree": FatTreeFabric,
+}
+
+
+def build_fabric(env: Environment, spec: TopologySpec,
+                 cluster_config: Optional[ClusterConfig] = None,
+                 hca_config: Optional[HcaConfig] = None,
+                 injector=None) -> Fabric:
+    """Construct the fabric a :class:`TopologySpec` describes."""
+    return _FABRICS[spec.kind](env, spec, cluster_config=cluster_config,
+                               hca_config=hca_config, injector=injector)
+
+
+def ecmp_spread(fabric: Fabric, dst: str) -> Tuple[str, ...]:
+    """Distinct first-hop core switches host flows to ``dst`` use.
+
+    Diagnostic helper: traces a flow from every host and collects the
+    set of second-hop switch names — on a healthy fat-tree this spreads
+    across several spines; on a tree it is always the single parent.
+    """
+    cores = set()
+    for host in fabric.hosts:
+        if host.name == dst:
+            continue
+        hops = fabric.path(host.name, dst)
+        if len(hops) > 1:
+            cores.add(hops[1])
+    return tuple(sorted(cores))

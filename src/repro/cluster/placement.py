@@ -1,0 +1,267 @@
+"""Hierarchical handler placement on multi-stage fabrics.
+
+Given a fabric and an aggregation workload (one vector per host,
+combined with an associative operation), the placement engine decides
+*which switch at which level runs which handler instance*:
+
+``root_only``
+    One finalize instance at the fabric's aggregation root; every host
+    fires its vector straight at it.  This is the paper's single-switch
+    design stretched across a fabric — it works, but the root's ATB and
+    CPUs serialize all ``p`` inputs.
+``leaf_combine``
+    Combine instances on the leaf switches (each folds its attached
+    hosts' vectors into one partial), finalize at the root.  Traffic
+    above the leaves drops from ``p`` vectors to one per leaf.
+``per_level``
+    Combine at *every* tree level — leaves fold hosts, each internal
+    switch folds its children's partials, the root finalizes.  This is
+    the paper's Section 6 "organize the switches logically in a tree"
+    scheme; upper-level traffic is one vector per child.
+
+A plan is pure data (:class:`PlacementPlan`); :func:`install_plan`
+programs the real switches — dispatch, data buffers, ATB staging slots,
+send unit — and :func:`run_placed_reduction` drives a full packet-level
+reduction through it.  Per-level combine/forward counters land in a
+:class:`~repro.obs.MetricsRegistry` and, when the environment carries a
+trace collector, each combine/finalize emits a trace instant.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..net.packet import ActiveHeader
+from .fabric import Fabric
+from .topology import TopologyError
+
+#: Handler IDs installed by the placement engine.
+H_COMBINE = 1
+
+#: Switch-side vector add: 2 cycles/word (buffer operand streams in at
+#: single-cycle access; the add overlaps the copy — see apps/reduction).
+SWITCH_ADD_CYCLES_PER_WORD = 2
+
+PLACEMENT_POLICIES = ("root_only", "leaf_combine", "per_level")
+
+
+@dataclass(frozen=True)
+class Placement:
+    """One handler instance: where it runs and what it expects."""
+
+    switch: str
+    level: int
+    role: str                   # "combine" | "finalize"
+    expected: int               # inputs to fold before forwarding
+    parent: Optional[str]       # partials go here (None = finalize)
+    slot: int                   # ATB staging slot at the parent
+
+
+@dataclass
+class PlacementPlan:
+    """Pure-data output of :func:`plan_placement`."""
+
+    policy: str
+    root: str
+    placements: Dict[str, Placement] = field(default_factory=dict)
+    #: host name -> (entry switch, staging slot).
+    entry: Dict[str, Tuple[str, int]] = field(default_factory=dict)
+
+    @property
+    def instances(self) -> int:
+        return len(self.placements)
+
+    def levels_used(self) -> List[int]:
+        return sorted({p.level for p in self.placements.values()})
+
+    def describe(self) -> dict:
+        per_level: Dict[int, int] = {}
+        for placement in self.placements.values():
+            per_level[placement.level] = per_level.get(placement.level, 0) + 1
+        return {"policy": self.policy, "root": self.root,
+                "instances": self.instances,
+                "per_level": dict(sorted(per_level.items()))}
+
+
+def plan_placement(fabric: Fabric, policy: str) -> PlacementPlan:
+    """Decide handler placement for an aggregation over ``fabric``.
+
+    On a single-switch (depth-1) fabric every policy degenerates to
+    ``root_only``.  On a two-level fat-tree ``per_level`` equals
+    ``leaf_combine`` (there is exactly one level above the leaves).
+    """
+    if policy not in PLACEMENT_POLICIES:
+        raise TopologyError(
+            f"unknown placement policy {policy!r}; "
+            f"expected one of {PLACEMENT_POLICIES}")
+    root = fabric.aggregation_root
+    plan = PlacementPlan(policy=policy, root=root.name)
+
+    if policy == "root_only" or fabric.depth == 1:
+        plan.placements[root.name] = Placement(
+            switch=root.name, level=root.level, role="finalize",
+            expected=len(fabric.hosts), parent=None, slot=0)
+        for i, host in enumerate(fabric.hosts):
+            plan.entry[host.name] = (root.name, i)
+        return plan
+
+    leaves = fabric.levels[0]
+    for index, leaf in enumerate(leaves):
+        for offset, host in enumerate(leaf.hosts):
+            plan.entry[host.name] = (leaf.name, offset)
+
+    if policy == "leaf_combine":
+        # Leaves fold their hosts; partials skip intermediate levels
+        # and ride the fabric's host/switch routes straight to the root.
+        for index, leaf in enumerate(leaves):
+            plan.placements[leaf.name] = Placement(
+                switch=leaf.name, level=0, role="combine",
+                expected=len(leaf.hosts), parent=root.name, slot=index)
+        plan.placements[root.name] = Placement(
+            switch=root.name, level=root.level, role="finalize",
+            expected=len(leaves), parent=None, slot=0)
+        return plan
+
+    # per_level: a combine instance on every switch below the root that
+    # aggregates anything, wired along parent pointers (tree) or to the
+    # aggregation root (fat-tree leaves, whose physical parents are the
+    # whole spine row).
+    for level_index, level in enumerate(fabric.levels[:-1]):
+        for index, node in enumerate(level):
+            if node.name == root.name:
+                continue
+            if node.parent is not None:
+                parent_name = node.parent.name
+                slot = node.parent.children.index(node)
+            else:
+                parent_name, slot = root.name, index
+            plan.placements[node.name] = Placement(
+                switch=node.name, level=level_index, role="combine",
+                expected=node.fan_in, parent=parent_name, slot=slot)
+    plan.placements[root.name] = Placement(
+        switch=root.name, level=root.level, role="finalize",
+        expected=root.fan_in, parent=None, slot=0)
+    return plan
+
+
+# ----------------------------------------------------------------------
+# Programming the switches
+# ----------------------------------------------------------------------
+def region_stride(vector_bytes: int) -> int:
+    """ATB staging stride: vector size rounded up to the 512 B region."""
+    return -(-vector_bytes // 512) * 512
+
+
+def install_plan(fabric: Fabric, plan: PlacementPlan, vector_bytes: int,
+                 done: Dict, metrics=None) -> None:
+    """Register the plan's combine/finalize handlers on the fabric.
+
+    ``done["result"]`` receives the finalized vector.  ``metrics`` is an
+    optional :class:`~repro.obs.MetricsRegistry`; each placement level
+    gets ``fabric.level<L>.combines`` / ``.partials_sent`` counters.
+    The finalize instance delivers the result to ``hosts[0]`` (the
+    paper's reduce-to-one).
+    """
+    env = fabric.env
+    words = vector_bytes // 4
+    stride = region_stride(vector_bytes)
+    by_name = {node.name: node for node in fabric.switches}
+
+    counters = {}
+    if metrics is not None:
+        for level in sorted({p.level for p in plan.placements.values()}):
+            counters[level] = (
+                metrics.counter(f"fabric.level{level}.combines"),
+                metrics.counter(f"fabric.level{level}.partials_sent"))
+
+    for placement in plan.placements.values():
+        node = by_name[placement.switch]
+        switch = node.switch
+        switch.kernel_state["fabric_acc"] = [0] * words
+        switch.kernel_state["fabric_count"] = 0
+        switch.kernel_state["fabric_expected"] = placement.expected
+
+        def combine_handler(ctx, switch=switch, placement=placement):
+            yield from ctx.read(ctx.address, vector_bytes)
+            accumulator = switch.kernel_state["fabric_acc"]
+            incoming = ctx.arg
+            for w in range(words):
+                accumulator[w] = (accumulator[w] + incoming[w]) & 0xFFFFFFFF
+            yield from ctx.compute(words * SWITCH_ADD_CYCLES_PER_WORD)
+            # Range-exact: a delayed sibling may stage a lower slot
+            # after this one — plain deallocate() would free it too.
+            yield from ctx.deallocate_range(ctx.address,
+                                            ctx.address + stride)
+            switch.kernel_state["fabric_count"] += 1
+            pair = counters.get(placement.level)
+            if pair is not None:
+                pair[0].add(1)
+            if env.trace is not None:
+                env.trace.instant("fabric", "combine", env.now,
+                                  switch=placement.switch,
+                                  level=placement.level,
+                                  count=switch.kernel_state["fabric_count"])
+            if switch.kernel_state["fabric_count"] < \
+                    switch.kernel_state["fabric_expected"]:
+                return
+            result = list(switch.kernel_state["fabric_acc"])
+            if placement.parent is not None:
+                if pair is not None:
+                    pair[1].add(1)
+                yield from ctx.send(
+                    placement.parent, vector_bytes,
+                    active=ActiveHeader(handler_id=H_COMBINE,
+                                        address=placement.slot * stride),
+                    payload=result)
+                return
+            # Finalize: deliver to host 0 (reduce-to-one).
+            if env.trace is not None:
+                env.trace.instant("fabric", "finalize", env.now,
+                                  switch=placement.switch,
+                                  level=placement.level)
+            done["result"] = result
+            yield from ctx.send(fabric.hosts[0].name, vector_bytes,
+                                payload=result)
+
+        switch.register_handler(H_COMBINE, combine_handler)
+
+
+def run_placed_reduction(fabric: Fabric, plan: PlacementPlan,
+                         vectors: List[List[int]], metrics=None) -> Dict:
+    """Full packet-level reduction through the placed handlers.
+
+    Every host fires its vector at its entry switch as an active
+    message; the plan's handlers fold and forward partials; host 0
+    polls the final vector.  Returns ``{"result": [...],
+    "latency_ps": ...}``.
+    """
+    env = fabric.env
+    hosts = fabric.hosts
+    if len(vectors) != len(hosts):
+        raise ValueError(f"{len(vectors)} vectors for {len(hosts)} hosts")
+    vector_bytes = len(vectors[0]) * 4
+    stride = region_stride(vector_bytes)
+    done: Dict = {}
+    install_plan(fabric, plan, vector_bytes, done, metrics=metrics)
+
+    def sender(i: int):
+        host = hosts[i]
+        entry_switch, slot = plan.entry[host.name]
+        yield from host.hca.send(
+            entry_switch, vector_bytes,
+            active=ActiveHeader(handler_id=H_COMBINE,
+                                address=slot * stride),
+            payload=list(vectors[i]))
+
+    def receiver():
+        message = yield from hosts[0].hca.poll_receive()
+        return message.payload
+
+    procs = [env.process(sender(i), name=f"fab-send-{i}")
+             for i in range(len(hosts))]
+    recv = env.process(receiver(), name="fab-recv-0")
+    env.run(until=env.all_of(procs + [recv]))
+    done["latency_ps"] = env.now
+    done["result"] = list(recv.value)
+    return done

@@ -63,41 +63,58 @@ def validate_fabric(switches, adapters) -> List[FabricIssue]:
     destinations = [adapter.node_id for adapter in adapters]
     max_hops = len(switches) + 1
 
-    for switch in switches:
-        for destination in destinations:
-            # 1. Route exists and its ports are connected, hop by hop.
-            current = switch
-            hops = 0
-            while True:
-                try:
-                    port = current.routing.lookup(destination)
-                except RoutingError:
-                    issues.append(FabricIssue(
-                        "unreachable", switch.name, destination,
-                        f"no route at {current.name}"))
-                    break
-                next_name = neighbors[current.name].get(port)
+    for destination in destinations:
+        # Per-switch next hops for this destination, walking *every*
+        # ECMP alternative; route problems surface where they live.
+        next_hops: Dict[str, List[str]] = {}
+        for switch in switches:
+            ports = switch.routing.ports_for(destination)
+            if not ports:
+                issues.append(FabricIssue(
+                    "unreachable", switch.name, destination,
+                    f"no route at {switch.name}"))
+                continue
+            onward: List[str] = []
+            for port in ports:
+                next_name = neighbors[switch.name].get(port)
                 if next_name is None:
                     issues.append(FabricIssue(
                         "unconnected-port", switch.name, destination,
-                        f"{current.name} port {port} has no link"))
-                    break
-                if next_name == destination:
-                    break  # delivered
-                next_switch = by_name.get(next_name)
-                if next_switch is None:
+                        f"{switch.name} port {port} has no link"))
+                elif next_name == destination:
+                    pass  # delivered
+                elif next_name in by_name:
+                    onward.append(next_name)
+                else:
                     issues.append(FabricIssue(
                         "unreachable", switch.name, destination,
-                        f"{current.name} port {port} leads to unknown "
+                        f"{switch.name} port {port} leads to unknown "
                         f"node {next_name}"))
-                    break
-                hops += 1
-                if hops > max_hops:
+            next_hops[switch.name] = onward
+        # Cycle detection over the destination's next-hop graph
+        # (iterative DFS, white/gray/black colouring): any back edge
+        # means some path can revisit a switch and exceed max_hops.
+        color: Dict[str, int] = {}
+        for start in next_hops:
+            if color.get(start):
+                continue
+            color[start] = 1
+            stack = [(start, iter(next_hops[start]))]
+            while stack:
+                node, onward_iter = stack[-1]
+                nbr = next(onward_iter, None)
+                if nbr is None:
+                    color[node] = 2
+                    stack.pop()
+                    continue
+                state = color.get(nbr, 0)
+                if state == 1:
                     issues.append(FabricIssue(
-                        "loop", switch.name, destination,
-                        f"path exceeds {max_hops} hops"))
-                    break
-                current = next_switch
+                        "loop", node, destination,
+                        f"path exceeds {max_hops} hops (cycle via {nbr})"))
+                elif state == 0:
+                    color[nbr] = 1
+                    stack.append((nbr, iter(next_hops.get(nbr, []))))
     return issues
 
 

@@ -4,15 +4,40 @@ The paper's switch keeps an on-chip routing table mapping destinations
 to output ports, and uses virtual cut-through routing with a 100 ns
 per-switch routing latency.  We implement destination-based routing:
 each switch owns a :class:`RoutingTable` from node ID to output port.
+
+Multi-stage fabrics add two refinements:
+
+* **default ports** — a leaf/edge switch routes any unknown destination
+  up its uplink (the tree's "when in doubt, go up" rule); the top of
+  the fabric has no default, so a truly unroutable destination fails
+  loudly instead of looping;
+* **ECMP groups** — a Clos core offers several equal-cost up-ports for
+  the same destination.  :meth:`add_group` registers the port set and
+  :meth:`lookup` picks one by hashing the *flow key* (source,
+  destination), so a flow's packets stay in order on one path while
+  distinct flows spread across the core.  The hash is CRC-32 — stable
+  across processes and runs, keeping simulations bit-reproducible.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Optional
+import zlib
+from typing import Dict, Iterable, Optional, Sequence, Tuple
 
 
 class RoutingError(Exception):
     """Raised when a destination has no route."""
+
+
+def flow_hash(*parts: object) -> int:
+    """Deterministic, process-independent hash of a flow identifier.
+
+    Python's builtin ``hash`` is salted per process; CRC-32 over the
+    joined parts is stable, so ECMP path choices (and therefore whole
+    simulations) reproduce bit for bit.
+    """
+    key = "\x00".join(str(part) for part in parts)
+    return zlib.crc32(key.encode("utf-8"))
 
 
 class RoutingTable:
@@ -21,6 +46,8 @@ class RoutingTable:
     def __init__(self, switch_name: str):
         self.switch_name = switch_name
         self._routes: Dict[str, int] = {}
+        #: ECMP: destination -> candidate up-ports (sorted, deduplicated).
+        self._groups: Dict[str, Tuple[int, ...]] = {}
         self._default_port: Optional[int] = None
 
     def add(self, destination: str, port: int) -> None:
@@ -28,11 +55,35 @@ class RoutingTable:
         if port < 0:
             raise ValueError(f"port must be non-negative, got {port}")
         self._routes[destination] = port
+        self._groups.pop(destination, None)
 
     def add_many(self, destinations: Iterable[str], port: int) -> None:
         """Route several destinations out the same port (uplinks)."""
         for destination in destinations:
             self.add(destination, port)
+
+    def add_group(self, destination: str, ports: Sequence[int]) -> None:
+        """Offer several equal-cost ports for ``destination`` (ECMP).
+
+        A single-port group collapses to a plain route.  Lookups pick a
+        member by flow hash; :meth:`ports_for` exposes the full set.
+        """
+        unique = tuple(sorted(set(ports)))
+        if not unique:
+            raise ValueError(f"ECMP group for {destination!r} needs ports")
+        if any(port < 0 for port in unique):
+            raise ValueError(f"ports must be non-negative, got {ports}")
+        if len(unique) == 1:
+            self.add(destination, unique[0])
+            return
+        self._routes.pop(destination, None)
+        self._groups[destination] = unique
+
+    def add_group_many(self, destinations: Iterable[str],
+                       ports: Sequence[int]) -> None:
+        """Register the same ECMP group for several destinations."""
+        for destination in destinations:
+            self.add_group(destination, ports)
 
     def set_default(self, port: int) -> None:
         """Fallback port for unknown destinations (e.g. the uplink)."""
@@ -40,20 +91,76 @@ class RoutingTable:
             raise ValueError(f"port must be non-negative, got {port}")
         self._default_port = port
 
-    def lookup(self, destination: str) -> int:
-        """Output port for ``destination``."""
-        port = self._routes.get(destination, self._default_port)
-        if port is None:
+    @property
+    def default_port(self) -> Optional[int]:
+        return self._default_port
+
+    def lookup(self, destination: str, flow_key: Optional[object] = None
+               ) -> int:
+        """Output port for ``destination``.
+
+        ``flow_key`` selects among ECMP candidates (hashed, stable); it
+        defaults to the destination itself, so single-path tables behave
+        exactly as before.
+        """
+        port = self._routes.get(destination)
+        if port is not None:
+            return port
+        if self._groups:
+            group = self._groups.get(destination)
+            if group is not None:
+                index = flow_hash(destination if flow_key is None
+                                  else flow_key) % len(group)
+                return group[index]
+        if self._default_port is None:
             raise RoutingError(
                 f"{self.switch_name}: no route to {destination!r}")
-        return port
+        return self._default_port
+
+    def ports_for(self, destination: str) -> Tuple[int, ...]:
+        """Every port ``destination`` may be routed to (explicit routes
+        and ECMP members; the default port only when nothing explicit
+        exists).  Empty when the destination is unroutable."""
+        port = self._routes.get(destination)
+        if port is not None:
+            return (port,)
+        group = self._groups.get(destination)
+        if group is not None:
+            return group
+        if self._default_port is not None:
+            return (self._default_port,)
+        return ()
+
+    def has_route(self, destination: str,
+                  include_default: bool = False) -> bool:
+        """Is ``destination`` routed here?
+
+        With ``include_default=False`` (the default) only *explicit*
+        routes count — the question multi-switch fabrics ask ("is this
+        host actually attached below me?").  ``include_default=True``
+        additionally accepts the default port, i.e. "would a packet for
+        this destination leave this switch at all".
+        """
+        if destination in self._routes or destination in self._groups:
+            return True
+        return include_default and self._default_port is not None
 
     def __contains__(self, destination: str) -> bool:
-        return destination in self._routes or self._default_port is not None
+        """Explicit routes only.
+
+        A default port does **not** make every destination "contained":
+        in a multi-switch fabric ``dest in table`` must mean "this
+        switch specifically knows ``dest``", or the check is useless the
+        moment an uplink default exists.  Use
+        ``has_route(dest, include_default=True)`` for the old
+        any-port-will-do semantics.
+        """
+        return destination in self._routes or destination in self._groups
 
     def __len__(self) -> int:
-        return len(self._routes)
+        return len(self._routes) + len(self._groups)
 
     def __repr__(self) -> str:
         return (f"<RoutingTable {self.switch_name}: {len(self._routes)} routes, "
+                f"{len(self._groups)} ECMP groups, "
                 f"default={self._default_port}>")

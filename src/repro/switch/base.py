@@ -102,12 +102,15 @@ class BaseSwitch:
             yield from self._route(packet, port)
 
     def _route(self, packet: Packet, in_port: int):
-        # Routing-table lookup + crossbar traversal.
+        # Routing-table lookup + crossbar traversal.  The (src, dst)
+        # flow key pins every packet of a flow to one ECMP member, so
+        # multipath cores never reorder a message's packets.
         yield self.env.timeout(self.config.routing_latency_ps)
         if packet.dst == self.name:
             yield from self.deliver_local(packet, in_port)
             return
-        out_port = self.routing.lookup(packet.dst)
+        out_port = self.routing.lookup(packet.dst,
+                                       flow_key=(packet.src, packet.dst))
         self.stats.forwarded += 1
         yield self._output_queues[out_port].put(packet)
 
@@ -127,7 +130,8 @@ class BaseSwitch:
         Used by the active switch's send unit (the extra crossbar port:
         the paper expands the crossbar from N x N to (N+1) x N).
         """
-        port = (self.routing.lookup(packet.dst)
+        port = (self.routing.lookup(packet.dst,
+                                    flow_key=(packet.src, packet.dst))
                 if out_port is None else out_port)
         yield self._output_queues[port].put(packet)
 

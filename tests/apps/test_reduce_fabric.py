@@ -1,0 +1,78 @@
+"""End-to-end tests for ``repro.run("reduce", ...)``.
+
+The acceptance bar for the scale-out layer: a 64-host two-level
+fat-tree run with per-level aggregation completes through the unified
+front door and the in-network result is bit-identical to the host-only
+computation (checked against the oracle inside ``run_case``; the cases
+also agree on the derived sums below).
+"""
+
+import pytest
+
+import repro
+from repro.apps.reduce_fabric import FabricReduceApp
+
+
+def test_repro_run_64_host_fat_tree_per_level():
+    result = repro.run("reduce", topology="fat_tree", hosts=64,
+                       placement="per_level", cases=("normal", "active"))
+    normal, active = result.cases["normal"], result.cases["active"]
+    # In-network aggregation wins and moves fewer bytes through host 0.
+    assert active.exec_ps < normal.exec_ps
+    assert active.host_traffic_bytes < normal.host_traffic_bytes
+    # Per-level counters surfaced in the result.
+    assert active.extra["fabric.level0.combines"] == 64.0
+    assert active.extra["fabric.level1.combines"] == 8.0
+    assert active.extra["placement_instances"] == 9.0
+    assert active.switch_cpus  # placed switches' breakdowns present
+
+
+def test_run_is_deterministic():
+    kwargs = dict(topology="tree", hosts=64, placement="leaf_combine",
+                  cases=("active",))
+    a = repro.run("reduce", **kwargs).cases["active"]
+    b = repro.run("reduce", **kwargs).cases["active"]
+    assert a.exec_ps == b.exec_ps
+    assert a.extra == b.extra
+
+
+def test_all_four_case_labels_complete():
+    result = repro.run("reduce", topology="tree", hosts=16)
+    assert set(result.cases) == {"normal", "normal+pref",
+                                 "active", "active+pref"}
+    # Prefetch has no meaning for a collective: labels pair up exactly.
+    assert result.cases["normal"].exec_ps == \
+        result.cases["normal+pref"].exec_ps
+    assert result.cases["active"].exec_ps == \
+        result.cases["active+pref"].exec_ps
+
+
+def test_placement_policies_change_latency_not_result():
+    times = {}
+    for policy in ("root_only", "per_level"):
+        case = repro.run("reduce", topology="tree", hosts=128,
+                         placement=policy, cases=("active",)).cases["active"]
+        times[policy] = case.exec_ps
+    assert times["per_level"] < times["root_only"]
+
+
+def test_bad_parameters_fail_at_spec_time():
+    with pytest.raises(ValueError, match="placement"):
+        FabricReduceApp(placement="nowhere")
+    with pytest.raises(ValueError):
+        FabricReduceApp(topology="hypercube")
+    with pytest.raises(ValueError, match="vector_bytes"):
+        FabricReduceApp(vector_bytes=6)
+
+
+def test_metrics_sink_and_trace():
+    from repro.obs import TraceCollector
+
+    app = FabricReduceApp(topology="tree", hosts=16)
+    config = app.cluster_config().with_case(active=True, prefetch=False)
+    sink = {}
+    collector = TraceCollector()
+    case = app.run_case(config, trace=collector, metrics_sink=sink)
+    assert case.label == "active"
+    assert sink["fabric.level0.combines"] == 16.0
+    assert any(event.component == "fabric" for event in collector.events)

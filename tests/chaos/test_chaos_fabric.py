@@ -1,0 +1,84 @@
+"""Chaos: hierarchical aggregation over lossy multi-stage fabrics.
+
+Faults attach to every link and switch of a multi-hop fabric (fat-tree
+ECMP core included); the CRC + NACK/retransmission machinery must hide
+all of it — placed reductions stay bit-identical to the fault-free
+oracle, and identical seeds reproduce identical fault schedules.
+"""
+
+import pytest
+
+from repro.apps.reduction import REDUCTION_HCA, _make_vectors, _oracle
+from repro.cluster.fabric import TopologySpec, build_fabric
+from repro.cluster.placement import plan_placement, run_placed_reduction
+from repro.faults import FaultInjector, FaultPlan, LinkFaults
+from repro.sim import Environment
+
+pytestmark = pytest.mark.chaos
+
+LOSSY = FaultPlan(link=LinkFaults(drop_rate=0.1, bit_error_rate=0.05))
+
+
+def _lossy_fabric(kind, hosts, seed, plan=LOSSY):
+    env = Environment()
+    injector = FaultInjector(plan, seed=seed)
+    fabric = build_fabric(env, TopologySpec(kind=kind, num_hosts=hosts),
+                          hca_config=REDUCTION_HCA, injector=injector)
+    return fabric, injector
+
+
+def _total_retransmits(fabric):
+    total = 0
+    for node in fabric.switches:
+        for link in node.switch._tx_links:
+            if link is not None:
+                total += link.stats.retransmits
+    for host in fabric.hosts:
+        if host.hca._tx_link is not None:
+            total += host.hca._tx_link.stats.retransmits
+    return total
+
+
+@pytest.mark.parametrize("kind", ["tree", "fat_tree"])
+@pytest.mark.parametrize("policy", ["per_level", "root_only"])
+def test_lossy_fabric_reduction_is_exact(kind, policy):
+    fabric, _ = _lossy_fabric(kind, 32, seed=7)
+    vectors = _make_vectors(32)
+    done = run_placed_reduction(fabric, plan_placement(fabric, policy),
+                                vectors)
+    assert done["result"] == _oracle(vectors)
+    assert _total_retransmits(fabric) > 0  # the plan actually bit
+
+
+def test_fault_schedule_reproduces_with_seed():
+    latencies = []
+    for _ in range(2):
+        fabric, _ = _lossy_fabric("fat_tree", 32, seed=11)
+        done = run_placed_reduction(
+            fabric, plan_placement(fabric, "per_level"), _make_vectors(32))
+        latencies.append((done["latency_ps"], _total_retransmits(fabric)))
+    assert latencies[0] == latencies[1]
+
+
+def test_different_seeds_give_different_schedules():
+    outcomes = set()
+    for seed in (1, 2, 3):
+        fabric, _ = _lossy_fabric("tree", 32, seed=seed)
+        done = run_placed_reduction(
+            fabric, plan_placement(fabric, "per_level"), _make_vectors(32))
+        outcomes.add(done["latency_ps"])
+    assert len(outcomes) > 1
+
+
+def test_chaos_preset_through_run_front_door():
+    """repro.run wires config.faults into the fabric builder."""
+    import repro
+
+    result = repro.run("reduce", topology="fat_tree", hosts=32,
+                       placement="per_level", preset="chaos_2003",
+                       cases=("active",))
+    case = result.cases["active"]
+    # The oracle assert inside run_case already guarantees correctness;
+    # the report must carry the fault-accounting keys.
+    assert "link_retransmits" in case.extra
+    assert case.extra["fabric_depth"] == 2.0

@@ -1,0 +1,78 @@
+"""Property-based tests: random fabric shapes stay sound.
+
+For arbitrary (kind, host count, leaf width, radix/spine) combinations
+drawn by hypothesis:
+
+* every host pair has a loop-free route (``Fabric.path`` walks the real
+  routing tables and raises on a loop or an off-fabric hop);
+* the static validator agrees the fabric is sound;
+* hierarchical in-network aggregation is bit-identical to the oracle
+  (and therefore to the host-only software reduction, since addition
+  mod 2^32 is associative).
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps.reduction import REDUCTION_HCA, _make_vectors, _oracle
+from repro.cluster.fabric import TopologySpec, build_fabric
+from repro.cluster.placement import plan_placement, run_placed_reduction
+from repro.sim import Environment
+
+
+@st.composite
+def tree_specs(draw):
+    hosts_per_leaf = draw(st.integers(min_value=2, max_value=8))
+    num_hosts = draw(st.integers(min_value=1, max_value=64))
+    radix = draw(st.one_of(st.none(), st.integers(min_value=2, max_value=8)))
+    return TopologySpec(kind="tree", num_hosts=num_hosts,
+                        hosts_per_leaf=hosts_per_leaf, radix=radix)
+
+
+@st.composite
+def fat_tree_specs(draw):
+    hosts_per_leaf = draw(st.integers(min_value=2, max_value=8))
+    # Keep leaves within one spine's port budget (16).
+    num_hosts = draw(st.integers(min_value=1,
+                                 max_value=min(64, hosts_per_leaf * 16)))
+    spines = draw(st.integers(min_value=1,
+                              max_value=16 - hosts_per_leaf))
+    return TopologySpec(kind="fat_tree", num_hosts=num_hosts,
+                        hosts_per_leaf=hosts_per_leaf, spines=spines)
+
+
+def _assert_all_pairs_loop_free(fabric):
+    fabric.validate()
+    hosts = [host.name for host in fabric.hosts]
+    # path() raises TopologyError on any loop or off-fabric hop; cap the
+    # pair count so the densest shapes stay fast.
+    for src in hosts[:12]:
+        for dst in hosts:
+            if src != dst:
+                hops = fabric.path(src, dst)
+                assert 1 <= len(hops) <= len(fabric.switches)
+
+
+@given(spec=tree_specs())
+@settings(max_examples=40, deadline=None)
+def test_property_tree_routes_are_loop_free(spec):
+    _assert_all_pairs_loop_free(build_fabric(Environment(), spec))
+
+
+@given(spec=fat_tree_specs())
+@settings(max_examples=40, deadline=None)
+def test_property_fat_tree_routes_are_loop_free(spec):
+    _assert_all_pairs_loop_free(build_fabric(Environment(), spec))
+
+
+@given(spec=st.one_of(tree_specs(), fat_tree_specs()),
+       policy=st.sampled_from(("root_only", "leaf_combine", "per_level")))
+@settings(max_examples=25, deadline=None)
+def test_property_aggregation_is_bit_exact(spec, policy):
+    """Any shape x any policy: the in-network sum equals the oracle."""
+    fabric = build_fabric(Environment(), spec,
+                          hca_config=REDUCTION_HCA)
+    vectors = _make_vectors(spec.num_hosts, vector_bytes=64)
+    done = run_placed_reduction(fabric, plan_placement(fabric, policy),
+                                vectors)
+    assert done["result"] == _oracle(vectors)

@@ -91,3 +91,78 @@ def test_same_leaf_message_stays_local():
     proc = env.process(receiver(env))
     env.run(until=proc)
     assert tree.root.switch.stats.forwarded == 0
+
+
+def test_no_shared_mutable_default_configs():
+    """Regression: SwitchTree used module-level dataclass instances as
+    default arguments; two trees must never share config objects
+    implicitly."""
+    import inspect
+
+    from repro.cluster.topology import SwitchTree as ST
+
+    signature = inspect.signature(ST.__init__)
+    assert signature.parameters["link_config"].default is None
+    assert signature.parameters["active_config"].default is None
+    a = ST(Environment(), num_hosts=8)
+    b = ST(Environment(), num_hosts=8)
+    assert a.link_config == b.link_config  # same values...
+    # ...and either not the same object, or frozen (immutable) configs.
+    import dataclasses
+    assert dataclasses.is_dataclass(a.link_config)
+    assert a.link_config.__dataclass_params__.frozen
+
+
+@pytest.mark.parametrize("num_hosts", [1, 3, 7, 9, 17, 20, 63, 65, 100, 129])
+@pytest.mark.parametrize("hosts_per_leaf", [3, 8])
+def test_odd_host_counts_stay_consistent(num_hosts, hosts_per_leaf):
+    """Satellite audit: non-power-of-hosts_per_leaf counts must keep
+    routing tables, fan_in, and port accounting consistent."""
+    tree = SwitchTree(Environment(), num_hosts=num_hosts,
+                      hosts_per_leaf=hosts_per_leaf)
+    tree.validate()
+    assert sum(leaf.fan_in for leaf in tree.levels[0]) == num_hosts
+    for level in tree.levels[1:]:
+        for node in level:
+            assert node.fan_in == len(node.children)
+
+
+def test_validate_catches_broken_routing():
+    from repro.cluster.topology import TopologyError
+
+    tree = SwitchTree(Environment(), num_hosts=16)
+    tree.validate()  # sound as built
+    # Sabotage: point a leaf's route for its own host at the uplink.
+    leaf = tree.levels[0][0]
+    sabotaged = leaf.hosts[0].name
+    leaf.switch.routing.add(sabotaged, leaf.switch.config.num_ports - 1)
+    with pytest.raises(TopologyError, match="loop"):
+        tree.validate()
+
+
+def test_radix_parameter_controls_internal_fanout():
+    tree = SwitchTree(Environment(), num_hosts=64, hosts_per_leaf=8, radix=4)
+    assert len(tree.levels[0]) == 8
+    assert len(tree.levels[1]) == 2   # 8 leaves / radix 4
+    assert tree.depth == 3
+    tree.validate()
+
+
+def test_bad_radix_rejected():
+    from repro.cluster.topology import TopologyError
+
+    with pytest.raises(TopologyError, match="radix"):
+        SwitchTree(Environment(), num_hosts=32, radix=1)
+    with pytest.raises(TopologyError, match="radix"):
+        SwitchTree(Environment(), num_hosts=32, switch_ports=16, radix=16)
+
+
+def test_switch_names_routed_downward():
+    """Internal switches route descendant *switch* names explicitly, so
+    placement engines can address partial results to any switch."""
+    tree = SwitchTree(Environment(), num_hosts=128)
+    leaf0 = tree.levels[0][0]
+    assert tree.root.switch.routing.has_route(leaf0.name)
+    mid = tree.levels[1][0]
+    assert tree.root.switch.routing.has_route(mid.name)
+    assert mid.switch.routing.has_route(leaf0.name)

@@ -21,6 +21,7 @@ EXPECTED_IDS = {
     "fig17_md5_multicpu",
     "ext_two_level",
     "ext_multiprogramming",
+    "ext_fabric_scale",
 }
 
 

@@ -37,13 +37,31 @@ def test_add_many():
     assert len(table) == 3
 
 
-def test_contains():
+def test_contains_is_explicit_routes_only():
+    """Regression: a default port must not make every destination
+    "contained" — multi-switch fabrics ask ``in`` to mean "is this host
+    actually routed *here*"."""
     table = RoutingTable("sw0")
     table.add("x", 0)
     assert "x" in table
     assert "y" not in table
     table.set_default(1)
-    assert "y" in table
+    assert "y" not in table          # default port is not containment
+    assert table.lookup("y") == 1    # ...but lookup still falls back
+
+
+def test_has_route_semantics():
+    table = RoutingTable("sw0")
+    table.add("x", 0)
+    assert table.has_route("x")
+    assert not table.has_route("y")
+    assert not table.has_route("y", include_default=True)
+    table.set_default(3)
+    assert not table.has_route("y")
+    assert table.has_route("y", include_default=True)
+    table.add_group("z", [1, 2])
+    assert table.has_route("z")
+    assert "z" in table
 
 
 def test_negative_port_rejected():
@@ -52,3 +70,41 @@ def test_negative_port_rejected():
         table.add("x", -1)
     with pytest.raises(ValueError):
         table.set_default(-2)
+    with pytest.raises(ValueError):
+        table.add_group("x", [0, -1])
+
+
+def test_ecmp_group_lookup_is_deterministic_and_spreads():
+    table = RoutingTable("sw0")
+    table.add_group("far", [2, 3, 4])
+    chosen = {table.lookup("far", flow_key=(f"host{i}", "far"))
+              for i in range(64)}
+    assert chosen == {2, 3, 4}  # 64 flows cover a 3-way group
+    # Same flow key -> same port, every time (bit-reproducibility).
+    for i in range(8):
+        key = (f"host{i}", "far")
+        assert table.lookup("far", flow_key=key) == \
+            table.lookup("far", flow_key=key)
+    assert table.ports_for("far") == (2, 3, 4)
+
+
+def test_ecmp_group_edge_cases():
+    table = RoutingTable("sw0")
+    with pytest.raises(ValueError):
+        table.add_group("far", [])
+    table.add_group("far", [5])      # single member collapses to a route
+    assert table.lookup("far") == 5
+    assert table.ports_for("far") == (5,)
+    table.add_group("far", [1, 2])   # re-registering replaces the route
+    assert table.ports_for("far") == (1, 2)
+    table.add("far", 7)              # explicit route replaces the group
+    assert table.ports_for("far") == (7,)
+    assert len(table) == 1
+
+
+def test_ports_for_falls_back_to_default():
+    table = RoutingTable("sw0")
+    assert table.ports_for("ghost") == ()
+    table.set_default(9)
+    assert table.ports_for("ghost") == (9,)
+    assert table.default_port == 9

@@ -23,7 +23,8 @@ LINKED_DOCS = sorted(
      *(p for p in REPO.glob("*.md") if p.name != "README.md")])
 
 EXECUTABLE_DOCS = [REPO / "docs" / "tutorial.md",
-                   REPO / "docs" / "observability.md"]
+                   REPO / "docs" / "observability.md",
+                   REPO / "docs" / "topologies.md"]
 
 _LINK = re.compile(r"\[[^\]]+\]\(([^)#\s]+)(?:#[^)\s]*)?\)")
 _FENCE = re.compile(r"```python\n(.*?)```", re.DOTALL)
