@@ -47,6 +47,8 @@ from .cluster import (
 )
 from .faults import (
     DiskFaults,
+    FailStopEvent,
+    FailStopFaults,
     FaultInjector,
     FaultPlan,
     HandlerFaults,
@@ -83,7 +85,7 @@ from .runner import (
 from .sim import Environment, Tracer
 from .switch import ActiveSwitch, ActiveSwitchConfig, BaseSwitch
 
-__version__ = "1.4.0"
+__version__ = "1.5.0"
 
 #: Authoritative public surface: `import *`, the docs' API reference,
 #: and tests/test_public_api.py all derive from this list.
@@ -110,6 +112,8 @@ __all__ = [
     "System",
     # Fault injection
     "DiskFaults",
+    "FailStopEvent",
+    "FailStopFaults",
     "FaultInjector",
     "FaultPlan",
     "HandlerFaults",

@@ -93,8 +93,19 @@ class FabricReduceApp:
 
         injector = None
         if config.faults is not None and config.faults.enabled:
+            from dataclasses import replace as _replace
+
             from ..faults import FaultInjector
-            injector = FaultInjector(config.faults, seed=config.seed)
+            from ..faults.plan import FailStopFaults
+            plan = config.faults
+            if not config.active and plan.failstop.enabled:
+                # The MST baseline has no end-to-end recovery: a switch
+                # killed mid-round would deadlock a receiver forever.
+                # The normal cases therefore measure the failure-free
+                # baseline (transient faults still apply), which is the
+                # reference the availability comparison needs anyway.
+                plan = _replace(plan, failstop=FailStopFaults())
+            injector = FaultInjector(plan, seed=config.seed)
             env.add_context_provider(injector.failure_context)
 
         fabric = build_fabric(env, self.spec, cluster_config=config,
@@ -106,6 +117,8 @@ class FabricReduceApp:
         metrics = MetricsRegistry()
         metrics.register("sim.event_count", lambda: env.event_count)
         metrics.register("sim.now_ps", lambda: env.now)
+        if fabric.failstop_armed:
+            fabric.register_metrics(metrics)
 
         extra: Dict[str, float] = {}
         switch_breakdowns = []
@@ -115,6 +128,9 @@ class FabricReduceApp:
                                         metrics=metrics)
             result = done["result"]
             extra["placement_instances"] = float(plan.instances)
+            if "attempts" in done:
+                extra["collective_attempts"] = float(done["attempts"])
+                extra["collective_repairs"] = float(done["repairs"])
             for name, value in metrics.snapshot("fabric").items():
                 extra[name] = value
             placed = set(plan.placements)
@@ -136,6 +152,7 @@ class FabricReduceApp:
         extra["fabric_switches"] = float(len(fabric.switches))
         if injector is not None:
             retransmits = dropped = corrupted = 0
+            capped = abandoned = 0
             for node in fabric.switches:
                 for link in node.switch._tx_links:
                     if link is None:
@@ -143,15 +160,28 @@ class FabricReduceApp:
                     retransmits += link.stats.retransmits
                     dropped += link.stats.packets_dropped
                     corrupted += link.stats.packets_corrupted
+                    capped += link.stats.capped_backoffs
+                    abandoned += link.stats.packets_abandoned
             for host in fabric.hosts:
                 tx = host.hca._tx_link
                 if tx is not None:
                     retransmits += tx.stats.retransmits
                     dropped += tx.stats.packets_dropped
                     corrupted += tx.stats.packets_corrupted
+                    capped += tx.stats.capped_backoffs
+                    abandoned += tx.stats.packets_abandoned
             extra["link_retransmits"] = float(retransmits)
             extra["link_packets_dropped"] = float(dropped)
             extra["link_packets_corrupted"] = float(corrupted)
+            if capped:
+                extra["link_capped_backoffs"] = float(capped)
+            if abandoned:
+                extra["link_packets_abandoned"] = float(abandoned)
+            if fabric.failstop_armed:
+                extra["failstop_switch_kills"] = float(fabric.ft.switch_kills)
+                extra["failstop_link_kills"] = float(fabric.ft.link_kills)
+                for name, value in metrics.snapshot("fabric").items():
+                    extra.setdefault(name, value)
             extra.update(injector.snapshot())
         if metrics_sink is not None:
             metrics_sink.update(metrics.snapshot())

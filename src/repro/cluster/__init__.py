@@ -2,10 +2,11 @@
 multi-stage fabrics, and handler placement."""
 
 from .config import CASE_ORDER, ClusterConfig, case_configs, four_cases
-from .fabric import TopologySpec, build_fabric
+from .fabric import FabricPartitioned, FtStats, TopologySpec, build_fabric
 from .iostream import BlockArrival, ReadStream, WriteStream
 from .node import ComputeNode, StorageNode
-from .placement import PLACEMENT_POLICIES, PlacementPlan, plan_placement
+from .placement import (PLACEMENT_POLICIES, CollectiveTimeout, PlacementPlan,
+                        plan_placement, repair_plan)
 from .presets import PRESETS, get_preset
 from .system import System
 from .topology import SwitchTree, TopologyError
@@ -27,7 +28,11 @@ __all__ = [
     "TopologyError",
     "TopologySpec",
     "build_fabric",
+    "FabricPartitioned",
+    "FtStats",
     "PLACEMENT_POLICIES",
     "PlacementPlan",
     "plan_placement",
+    "repair_plan",
+    "CollectiveTimeout",
 ]

@@ -24,11 +24,12 @@ Both expose the same :class:`Fabric` interface — ``hosts``, ``levels``,
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
 
 from ..net.hca import HCA, HcaConfig
 from ..net.link import Link
+from ..net.routing import RoutingError
 from ..sim.core import Environment
 from ..switch.active import ActiveSwitch
 from ..switch.base import SwitchConfig
@@ -39,6 +40,45 @@ from .validation import validate_fabric
 
 #: Recognized topology kinds.
 TOPOLOGY_KINDS = ("single", "tree", "fat_tree")
+
+
+class FabricPartitioned(TopologyError):
+    """A fail-stop left some live host pair with no surviving path.
+
+    Raised by :meth:`Fabric.path` / :meth:`Fabric.check_partition`
+    instead of letting a collective hang forever on an unroutable
+    fabric; callers (the placed-reduction retry loop) surface it as
+    "unrecoverable" rather than retrying."""
+
+
+@dataclass
+class FtStats:
+    """Fabric-level fail-stop accounting (kills, detection, repair)."""
+
+    switch_kills: int = 0
+    link_kills: int = 0
+    revivals: int = 0
+    #: Heartbeat/ACK-escalation port-down detections fabric-wide.
+    detections: int = 0
+    #: Aggregation-tree repairs (collective re-roots) performed.
+    repairs: int = 0
+    detection_latency_ps_total: int = 0
+    detection_latency_ps_max: int = 0
+    #: Per-detection latencies (ground-truth death -> neighbor marking).
+    latencies_ps: List[int] = field(default_factory=list)
+
+    def record_detection(self, latency_ps: int) -> None:
+        self.detections += 1
+        self.detection_latency_ps_total += latency_ps
+        self.detection_latency_ps_max = max(
+            self.detection_latency_ps_max, latency_ps)
+        self.latencies_ps.append(latency_ps)
+
+    @property
+    def detection_latency_ps_mean(self) -> float:
+        if not self.detections:
+            return 0.0
+        return self.detection_latency_ps_total / self.detections
 
 
 @dataclass(frozen=True)
@@ -104,6 +144,9 @@ class Fabric:
         self.injector = injector
         self.hosts: List[ComputeNode] = []
         self.levels: List[List[TreeSwitch]] = []
+        self.ft = FtStats()
+        self._link_index: Optional[Dict[str, Link]] = None
+        self._failstop_armed = False
 
     # -- interface -----------------------------------------------------
     @property
@@ -152,7 +195,13 @@ class Fabric:
             if len(hops) > limit:
                 raise TopologyError(
                     f"routing loop tracing {src} -> {dst}: {hops}")
-            port = current.switch.routing.lookup(dst, flow_key=(src, dst))
+            try:
+                port = current.switch.routing.lookup(dst,
+                                                     flow_key=(src, dst))
+            except RoutingError as exc:
+                raise FabricPartitioned(
+                    f"no surviving route {src} -> {dst} at "
+                    f"{current.name}: {exc}") from exc
             link = current.switch._tx_links[port]
             if link is None:
                 raise TopologyError(
@@ -165,6 +214,267 @@ class Fabric:
                 raise TopologyError(
                     f"{current.name} routes {dst} off-fabric via {neighbor}")
             current = nxt
+
+    # -- fail-stop management plane ------------------------------------
+    @property
+    def links(self) -> Dict[str, Link]:
+        """Every link direction in the fabric, by ``"src->dst"`` name.
+
+        Indexed lazily after construction: switch tx links cover every
+        switch-originated direction, host HCA tx links the host->leaf
+        directions."""
+        if self._link_index is None:
+            index: Dict[str, Link] = {}
+            for node in self.switches:
+                for link in node.switch._tx_links:
+                    if link is not None:
+                        index[link.name] = link
+            for host in self.hosts:
+                tx = host.hca._tx_link
+                if tx is not None:
+                    index[tx.name] = tx
+            self._link_index = index
+        return self._link_index
+
+    def _by_name(self) -> Dict[str, TreeSwitch]:
+        return {node.name: node for node in self.switches}
+
+    def _links_touching(self, name: str) -> List[Link]:
+        return [link for link_name, link in self.links.items()
+                if name in link_name.split("->")]
+
+    def fail_link(self, src: str, dst: str, detect: bool = False) -> bool:
+        """Fail-stop the ``src->dst`` wire.  Unknown links are ignored
+        (returns False) so one fault plan can ride a topology sweep.
+        ``detect=True`` additionally declares the link down immediately
+        (zero-latency detection, for static tests); the honest path
+        leaves discovery to ACK escalation / heartbeats."""
+        link = self.links.get(f"{src}->{dst}")
+        if link is None:
+            return False
+        link.fail()
+        self.ft.link_kills += 1
+        if self.env.trace is not None:
+            self.env.trace.instant("fabric", "link.down", self.env.now,
+                                   link=link.name)
+        if detect:
+            self._declare(link)
+        return True
+
+    def fail_switch(self, name: str, detect: bool = False) -> bool:
+        """Fail-stop a whole switch: every wire touching it dies with
+        it.  Returns False when ``name`` is not in this fabric."""
+        node = self._by_name().get(name)
+        if node is None:
+            return False
+        node.failed_at = self.env.now
+        for link in self._links_touching(name):
+            link.fail()
+        self.ft.switch_kills += 1
+        if self.env.trace is not None:
+            self.env.trace.instant("fabric", "switch.down", self.env.now,
+                                   switch=name, level=node.level)
+        if detect:
+            for link in self._links_touching(name):
+                _, _, dst = link.name.partition("->")
+                if dst == name:
+                    self._declare(link)
+        return True
+
+    def _declare(self, link: Link) -> None:
+        """Immediate-detection helper: declare a dead wire at its
+        sender, firing the owning switch's failover listener."""
+        if link.is_down and link.declared_down_at is None:
+            if not self._failstop_armed:
+                self.ft.record_detection(self.env.now - link._down_since)
+                self._note_detected(link)
+            link._declare_down()
+
+    def _note_detected(self, link: Link) -> None:
+        _, _, dst = link.name.partition("->")
+        node = self._by_name().get(dst)
+        if node is not None and node.failed_at is not None \
+                and node.detected_down_at is None:
+            node.detected_down_at = self.env.now
+
+    def revive_link(self, src: str, dst: str) -> bool:
+        """Bring one wire back and readmit it at its sender's routing."""
+        link = self.links.get(f"{src}->{dst}")
+        if link is None:
+            return False
+        link.revive()
+        link.declared_down_at = None
+        self._restore_routing(link)
+        self.ft.revivals += 1
+        if self.env.trace is not None:
+            self.env.trace.instant("fabric", "link.up", self.env.now,
+                                   link=link.name)
+        return True
+
+    def revive_switch(self, name: str) -> bool:
+        """Revive a fail-stopped switch: wires come back and neighbors
+        readmit their ports.  Handler state died with the switch — the
+        epoch-numbered collective recovery re-installs what it needs."""
+        node = self._by_name().get(name)
+        if node is None:
+            return False
+        node.failed_at = None
+        node.detected_down_at = None
+        for link in self._links_touching(name):
+            link.revive()
+            link.declared_down_at = None
+            self._restore_routing(link)
+        self.ft.revivals += 1
+        if self.env.trace is not None:
+            self.env.trace.instant("fabric", "switch.up", self.env.now,
+                                   switch=name)
+        return True
+
+    def _restore_routing(self, link: Link) -> None:
+        src, _, _ = link.name.partition("->")
+        owner = self._by_name().get(src)
+        if owner is None:
+            return
+        for port, tx in enumerate(owner.switch._tx_links):
+            if tx is link:
+                owner.switch.port_restore(port)
+                return
+
+    def detected_down(self) -> Dict[str, int]:
+        """Switches some surviving sender has declared unreachable:
+        ``{switch_name: earliest declaration time}``.  This is the
+        *detected* view (what repair may act on), not ground truth."""
+        suspected: Dict[str, int] = {}
+        by_name = self._by_name()
+        for link_name, link in self.links.items():
+            if link.declared_down_at is None:
+                continue
+            _, _, dst = link_name.partition("->")
+            if dst in by_name:
+                at = link.declared_down_at
+                suspected[dst] = min(suspected.get(dst, at), at)
+        return suspected
+
+    @property
+    def failovers(self) -> int:
+        """Ports failed over (marked down) across the whole fabric."""
+        return sum(node.switch.stats.ports_failed for node in self.switches)
+
+    @property
+    def failstop_armed(self) -> bool:
+        """Is the fail-stop driver (events + heartbeats) running?"""
+        return self._failstop_armed
+
+    def _has_down(self) -> bool:
+        """Any fail-stopped component (ground truth or declared)?"""
+        if any(node.failed_at is not None for node in self.switches):
+            return True
+        return any(link.is_down or link.declared_down_at is not None
+                   for link in self.links.values())
+
+    def check_partition(self) -> None:
+        """Raise :class:`FabricPartitioned` when some pair of live
+        hosts has no route over the surviving components (walking the
+        real, failover-aware routing tables)."""
+        survivors = [node.switch for node in self.switches
+                     if node.failed_at is None]
+        live_hcas = []
+        for host in self.hosts:
+            tx = host.hca._tx_link
+            if tx is not None and tx.is_down:
+                continue
+            live_hcas.append(host.hca)
+        issues = validate_fabric(survivors, live_hcas)
+        unreachable = [issue for issue in issues
+                       if issue.kind in ("unreachable", "loop")]
+        if unreachable:
+            raise FabricPartitioned(
+                f"{len(unreachable)} unroutable pairs among survivors:\n  "
+                + "\n  ".join(str(issue) for issue in unreachable[:8]))
+
+    def register_metrics(self, metrics) -> None:
+        """Expose failover/repair counters on a MetricsRegistry."""
+        metrics.register("fabric.failovers", lambda: float(self.failovers))
+        metrics.register("fabric.repairs", lambda: float(self.ft.repairs))
+        metrics.register("fabric.detections",
+                         lambda: float(self.ft.detections))
+        metrics.register("fabric.detection_latency_ps.max",
+                         lambda: float(self.ft.detection_latency_ps_max))
+        metrics.register("fabric.detection_latency_ps.mean",
+                         lambda: float(self.ft.detection_latency_ps_mean))
+
+    def _arm_failstop(self) -> None:
+        """Start the fail-stop event driver and per-switch heartbeats.
+
+        A no-op unless the injector's plan schedules fail-stop events —
+        failure-free runs spawn no extra processes and stay bit-identical
+        to the pre-failstop simulator."""
+        if self.injector is None:
+            return
+        cfg = self.injector.plan.failstop
+        if cfg is None or not cfg.enabled:
+            return
+        self._failstop_armed = True
+        # Detection accounting rides the declaration itself, so both
+        # discovery paths (ACK escalation and heartbeat) land in FtStats.
+        for link in self.links.values():
+            link.add_down_listener(
+                lambda link=link: self._on_link_declared(link))
+        candidates = [node.name for node in self.levels[-1]]
+        events = self.injector.failstop_schedule(candidates)
+        if events:
+            self.env.process(self._failstop_driver(events),
+                             name="fabric-failstop", daemon=True)
+        for node in self.switches:
+            self.env.process(self._heartbeat(node, cfg.heartbeat_interval_ps),
+                             name=f"{node.name}-heartbeat", daemon=True)
+
+    def _on_link_declared(self, link: Link) -> None:
+        if link._down_since is not None:
+            self.ft.record_detection(self.env.now - link._down_since)
+        self._note_detected(link)
+
+    def _failstop_driver(self, events):
+        injector = self.injector
+        for event in events:
+            delay = event.at_ps - self.env.now
+            if delay > 0:
+                yield self.env.timeout(delay)
+            if event.kind == "switch_down":
+                applied = self.fail_switch(event.target)
+            else:
+                src, _, dst = event.target.partition("->")
+                applied = self.fail_link(src, dst)
+            if not applied:
+                continue
+            injector.failstop_fired(event)
+            if event.revive_at_ps is not None:
+                self.env.process(self._reviver(event),
+                                 name=f"fabric-revive-{event.target}",
+                                 daemon=True)
+
+    def _reviver(self, event):
+        yield self.env.timeout(event.revive_at_ps - self.env.now)
+        if event.kind == "switch_down":
+            self.revive_switch(event.target)
+        else:
+            src, _, dst = event.target.partition("->")
+            self.revive_link(src, dst)
+
+    def _heartbeat(self, node: TreeSwitch, interval_ps: int):
+        """Per-switch liveness monitor: a dead neighbor is noticed
+        within one interval even if no data traffic exposes it, so
+        detection latency is bounded by ``heartbeat_interval_ps``."""
+        switch = node.switch
+        while True:
+            yield self.env.timeout(interval_ps)
+            if node.failed_at is not None:
+                continue  # dead switches don't monitor (until revived)
+            for link in switch._tx_links:
+                if link is None or not link.is_down:
+                    continue
+                if link.declared_down_at is None:
+                    link._declare_down()
 
     def describe(self) -> dict:
         """Shape summary for reports and metric labels."""
@@ -230,9 +540,15 @@ class TreeFabric(Fabric):
             injector=injector)
         self.hosts = self.tree.hosts
         self.levels = self.tree.levels
+        self._arm_failstop()
 
     def validate(self) -> None:
-        self.tree.validate()
+        try:
+            self.tree.validate()
+        except TopologyError as exc:
+            if self._has_down() and "unreachable" in str(exc):
+                raise FabricPartitioned(str(exc)) from exc
+            raise
 
 
 class SingleFabric(TreeFabric):
@@ -307,6 +623,7 @@ class FatTreeFabric(Fabric):
             leaf.switch.routing.add_group_many(
                 [other.name for other in leaves if other is not leaf],
                 uplinks)
+        self._arm_failstop()
 
     def validate(self) -> None:
         spec = self.spec
@@ -337,10 +654,13 @@ class FatTreeFabric(Fabric):
                 [host.hca for host in self.hosts]):
             problems.append(str(issue))
         if problems:
-            raise TopologyError(
-                f"inconsistent fat-tree ({spec.num_hosts} hosts, "
-                f"{spec.num_leaves} leaves x {spec.num_spines} spines):\n  "
-                + "\n  ".join(problems))
+            header = (f"inconsistent fat-tree ({spec.num_hosts} hosts, "
+                      f"{spec.num_leaves} leaves x {spec.num_spines} "
+                      f"spines):\n  " + "\n  ".join(problems))
+            if self._has_down() and \
+                    any("unreachable" in p for p in problems):
+                raise FabricPartitioned(header)
+            raise TopologyError(header)
 
 
 _FABRICS = {

@@ -30,14 +30,19 @@ trace collector, each combine/finalize emits a trace instant.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Iterable, List, Optional, Tuple
 
+from ..net.hca import AdapterSendError
 from ..net.packet import ActiveHeader
-from .fabric import Fabric
+from .fabric import Fabric, FabricPartitioned
 from .topology import TopologyError
 
 #: Handler IDs installed by the placement engine.
 H_COMBINE = 1
+
+
+class CollectiveTimeout(Exception):
+    """A placed collective exhausted its repair/retry attempts."""
 
 #: Switch-side vector add: 2 cycles/word (buffer operand streams in at
 #: single-cycle access; the add overlaps the copy — see apps/reduction).
@@ -84,18 +89,31 @@ class PlacementPlan:
                 "per_level": dict(sorted(per_level.items()))}
 
 
-def plan_placement(fabric: Fabric, policy: str) -> PlacementPlan:
+def plan_placement(fabric: Fabric, policy: str,
+                   root: Optional[str] = None) -> PlacementPlan:
     """Decide handler placement for an aggregation over ``fabric``.
 
     On a single-switch (depth-1) fabric every policy degenerates to
     ``root_only``.  On a two-level fat-tree ``per_level`` equals
     ``leaf_combine`` (there is exactly one level above the leaves).
+
+    ``root`` overrides the aggregation root with another *top-level*
+    switch — on a fat-tree any spine can finalize, which is what
+    :func:`repair_plan` exploits when the default root fail-stops.
     """
     if policy not in PLACEMENT_POLICIES:
         raise TopologyError(
             f"unknown placement policy {policy!r}; "
             f"expected one of {PLACEMENT_POLICIES}")
-    root = fabric.aggregation_root
+    if root is None:
+        root = fabric.aggregation_root
+    else:
+        candidates = {node.name: node for node in fabric.levels[-1]}
+        if root not in candidates:
+            raise TopologyError(
+                f"aggregation root {root!r} is not a top-level switch of "
+                f"this fabric (candidates: {sorted(candidates)})")
+        root = candidates[root]
     plan = PlacementPlan(policy=policy, root=root.name)
 
     if policy == "root_only" or fabric.depth == 1:
@@ -154,7 +172,7 @@ def region_stride(vector_bytes: int) -> int:
 
 
 def install_plan(fabric: Fabric, plan: PlacementPlan, vector_bytes: int,
-                 done: Dict, metrics=None) -> None:
+                 done: Dict, metrics=None, epoch: int = 0) -> None:
     """Register the plan's combine/finalize handlers on the fabric.
 
     ``done["result"]`` receives the finalized vector.  ``metrics`` is an
@@ -162,6 +180,17 @@ def install_plan(fabric: Fabric, plan: PlacementPlan, vector_bytes: int,
     gets ``fabric.level<L>.combines`` / ``.partials_sent`` counters.
     The finalize instance delivers the result to ``hosts[0]`` (the
     paper's reduce-to-one).
+
+    ``epoch`` makes contributions idempotent across fail-stop repairs:
+    every payload carries ``(epoch, contributor, vector)``, and a
+    handler drains (reads and deallocates) but never folds a message
+    from another epoch or a contributor it has already counted — so a
+    retried collective can re-send everything without double-adding,
+    and stragglers from a timed-out attempt cannot pollute the repair.
+    Each install gets fresh accumulator state captured in the handler
+    closure (not looked up through ``kernel_state``), so a stale
+    invocation finishing after a re-install cannot touch the new
+    epoch's partial sums.
     """
     env = fabric.env
     words = vector_bytes // 4
@@ -178,14 +207,26 @@ def install_plan(fabric: Fabric, plan: PlacementPlan, vector_bytes: int,
     for placement in plan.placements.values():
         node = by_name[placement.switch]
         switch = node.switch
-        switch.kernel_state["fabric_acc"] = [0] * words
+        state = {"acc": [0] * words, "count": 0, "seen": set()}
+        # Observability mirrors (tests/tools may inspect these); the
+        # handler itself only ever touches its closure ``state``.
+        switch.kernel_state["fabric_acc"] = state["acc"]
         switch.kernel_state["fabric_count"] = 0
         switch.kernel_state["fabric_expected"] = placement.expected
+        switch.kernel_state["fabric_epoch"] = epoch
 
-        def combine_handler(ctx, switch=switch, placement=placement):
+        def combine_handler(ctx, switch=switch, placement=placement,
+                            state=state):
             yield from ctx.read(ctx.address, vector_bytes)
-            accumulator = switch.kernel_state["fabric_acc"]
-            incoming = ctx.arg
+            msg_epoch, contributor, incoming = ctx.arg
+            if msg_epoch != epoch or contributor in state["seen"]:
+                # Stale epoch or duplicate: drain the staged region so
+                # the buffers recycle, fold nothing.
+                yield from ctx.deallocate_range(ctx.address,
+                                                ctx.address + stride)
+                return
+            state["seen"].add(contributor)
+            accumulator = state["acc"]
             for w in range(words):
                 accumulator[w] = (accumulator[w] + incoming[w]) & 0xFFFFFFFF
             yield from ctx.compute(words * SWITCH_ADD_CYCLES_PER_WORD)
@@ -193,7 +234,8 @@ def install_plan(fabric: Fabric, plan: PlacementPlan, vector_bytes: int,
             # after this one — plain deallocate() would free it too.
             yield from ctx.deallocate_range(ctx.address,
                                             ctx.address + stride)
-            switch.kernel_state["fabric_count"] += 1
+            state["count"] += 1
+            switch.kernel_state["fabric_count"] = state["count"]
             pair = counters.get(placement.level)
             if pair is not None:
                 pair[0].add(1)
@@ -201,11 +243,10 @@ def install_plan(fabric: Fabric, plan: PlacementPlan, vector_bytes: int,
                 env.trace.instant("fabric", "combine", env.now,
                                   switch=placement.switch,
                                   level=placement.level,
-                                  count=switch.kernel_state["fabric_count"])
-            if switch.kernel_state["fabric_count"] < \
-                    switch.kernel_state["fabric_expected"]:
+                                  count=state["count"])
+            if state["count"] < placement.expected:
                 return
-            result = list(switch.kernel_state["fabric_acc"])
+            result = list(accumulator)
             if placement.parent is not None:
                 if pair is not None:
                     pair[1].add(1)
@@ -213,7 +254,7 @@ def install_plan(fabric: Fabric, plan: PlacementPlan, vector_bytes: int,
                     placement.parent, vector_bytes,
                     active=ActiveHeader(handler_id=H_COMBINE,
                                         address=placement.slot * stride),
-                    payload=result)
+                    payload=(epoch, placement.slot, result))
                 return
             # Finalize: deliver to host 0 (reduce-to-one).
             if env.trace is not None:
@@ -222,19 +263,74 @@ def install_plan(fabric: Fabric, plan: PlacementPlan, vector_bytes: int,
                                   level=placement.level)
             done["result"] = result
             yield from ctx.send(fabric.hosts[0].name, vector_bytes,
-                                payload=result)
+                                payload=(epoch, result))
 
-        switch.register_handler(H_COMBINE, combine_handler)
+        # Retry attempts (epoch > 0) re-install over the previous
+        # attempt's handler; a first install must stay strict so a
+        # double install_plan is still a loud bug.
+        switch.register_handler(H_COMBINE, combine_handler,
+                                replace=epoch > 0)
+
+
+def repair_plan(fabric: Fabric, plan: PlacementPlan,
+                dead: Iterable[str]) -> PlacementPlan:
+    """Re-root a placed aggregation around detected-dead components.
+
+    ``dead`` is the detected set (usually
+    :meth:`~repro.cluster.fabric.Fabric.detected_down`).  A dead entry
+    (leaf) switch orphans its hosts with no re-parenting possible —
+    that is a partition and raises :class:`FabricPartitioned`.  A dead
+    *top-level* switch (fat-tree spine) is survivable: the plan is
+    re-planned with the same policy onto the first surviving top switch
+    every leaf still has a live route to.  When no placed switch died,
+    the plan is returned unchanged (a timeout without a detected death
+    retries as-is — it may have been congestion).
+    """
+    dead = set(dead)
+    for host, (entry, _slot) in plan.entry.items():
+        if entry in dead:
+            raise FabricPartitioned(
+                f"entry switch {entry} for host {host} is dead; its "
+                f"subtree cannot be re-parented")
+    affected = dead & {p.switch for p in plan.placements.values()}
+    if not affected:
+        return plan
+    top = fabric.levels[-1]
+    top_names = {node.name for node in top}
+    if not affected <= top_names:
+        raise FabricPartitioned(
+            f"dead aggregation switch(es) {sorted(affected - top_names)} "
+            f"below the top level have no replacement")
+    for candidate in top:
+        if candidate.name in dead or candidate.failed_at is not None:
+            continue
+        if all(leaf.switch.routing.ports_for(candidate.name)
+               for leaf in fabric.levels[0]):
+            return plan_placement(fabric, plan.policy, root=candidate.name)
+    raise FabricPartitioned(
+        f"no surviving top-level switch reachable from every leaf "
+        f"(dead: {sorted(dead)})")
 
 
 def run_placed_reduction(fabric: Fabric, plan: PlacementPlan,
-                         vectors: List[List[int]], metrics=None) -> Dict:
+                         vectors: List[List[int]], metrics=None,
+                         timeout_ps: Optional[int] = None,
+                         max_attempts: Optional[int] = None) -> Dict:
     """Full packet-level reduction through the placed handlers.
 
     Every host fires its vector at its entry switch as an active
     message; the plan's handlers fold and forward partials; host 0
     polls the final vector.  Returns ``{"result": [...],
     "latency_ps": ...}``.
+
+    With ``timeout_ps`` set (defaulted from the fault plan's
+    ``failstop.collective_timeout_ps`` when fail-stop events are
+    armed), each attempt races an end-to-end deadline.  A timed-out
+    attempt consults the fabric's detected-down set, repairs the plan
+    (:func:`repair_plan`), bumps the epoch, and re-sends everything —
+    idempotent contributions make the re-send safe.  After
+    ``max_attempts`` the collective raises :class:`CollectiveTimeout`.
+    Without a timeout the pre-1.5 single-attempt path runs unchanged.
     """
     env = fabric.env
     hosts = fabric.hosts
@@ -243,25 +339,80 @@ def run_placed_reduction(fabric: Fabric, plan: PlacementPlan,
     vector_bytes = len(vectors[0]) * 4
     stride = region_stride(vector_bytes)
     done: Dict = {}
-    install_plan(fabric, plan, vector_bytes, done, metrics=metrics)
 
-    def sender(i: int):
+    failstop = (fabric.injector.plan.failstop
+                if fabric.injector is not None else None)
+    armed = failstop is not None and failstop.enabled
+    if timeout_ps is None and armed:
+        timeout_ps = failstop.collective_timeout_ps
+    if max_attempts is None:
+        max_attempts = failstop.max_attempts if armed else 1
+
+    sync = {"epoch": 0}
+
+    def sender(i: int, current_plan: PlacementPlan, epoch: int):
         host = hosts[i]
-        entry_switch, slot = plan.entry[host.name]
-        yield from host.hca.send(
+        entry_switch, slot = current_plan.entry[host.name]
+        send = host.hca.send(
             entry_switch, vector_bytes,
             active=ActiveHeader(handler_id=H_COMBINE,
                                 address=slot * stride),
-            payload=list(vectors[i]))
+            payload=(epoch, slot, list(vectors[i])))
+        if timeout_ps is None:
+            yield from send
+            return
+        try:
+            yield from send
+        except AdapterSendError:
+            # The host's own uplink died mid-send; the retry loop (or a
+            # partition diagnosis at repair time) owns recovery.
+            done["send_failures"] = done.get("send_failures", 0) + 1
 
     def receiver():
-        message = yield from hosts[0].hca.poll_receive()
-        return message.payload
+        # One long-lived receiver across attempts: drains stale-epoch
+        # finalizes (a timed-out attempt may still complete late) and
+        # returns the first current-epoch result.
+        while True:
+            message = yield from hosts[0].hca.poll_receive()
+            msg_epoch, payload = message.payload
+            if msg_epoch == sync["epoch"]:
+                return payload
 
-    procs = [env.process(sender(i), name=f"fab-send-{i}")
-             for i in range(len(hosts))]
     recv = env.process(receiver(), name="fab-recv-0")
-    env.run(until=env.all_of(procs + [recv]))
+    current_plan = plan
+    attempt = 0
+    while True:
+        sync["epoch"] = attempt
+        install_plan(fabric, current_plan, vector_bytes, done,
+                     metrics=metrics, epoch=attempt)
+        procs = [env.process(sender(i, current_plan, attempt),
+                             name=(f"fab-send-{i}" if attempt == 0
+                                   else f"fab-send-{i}-e{attempt}"))
+                 for i in range(len(hosts))]
+        if timeout_ps is None:
+            env.run(until=env.all_of(procs + [recv]))
+            break
+        deadline = env.timeout(timeout_ps)
+        env.run(until=env.any_of([recv, deadline]))
+        if recv.triggered:
+            break
+        attempt += 1
+        if attempt >= max_attempts:
+            raise CollectiveTimeout(
+                f"placed reduction still incomplete after {attempt} "
+                f"attempt(s) of {timeout_ps} ps (detected down: "
+                f"{sorted(fabric.detected_down())})")
+        repaired = repair_plan(fabric, current_plan,
+                               fabric.detected_down())
+        if repaired is not current_plan:
+            fabric.ft.repairs += 1
+            if env.trace is not None:
+                env.trace.instant("fabric", "repair", env.now,
+                                  attempt=attempt, root=repaired.root)
+        current_plan = repaired
     done["latency_ps"] = env.now
     done["result"] = list(recv.value)
+    if timeout_ps is not None:
+        done["attempts"] = attempt + 1
+        done["repairs"] = fabric.ft.repairs
     return done

@@ -21,10 +21,11 @@ from __future__ import annotations
 from dataclasses import replace
 from typing import Callable, Dict
 
-from ..faults.plan import (DiskFaults, FaultPlan, HandlerFaults, LinkFaults,
-                           ScsiFaults)
+from ..faults.plan import (DiskFaults, FailStopFaults, FaultPlan,
+                           HandlerFaults, LinkFaults, ScsiFaults)
 from ..io.disk import DiskConfig
 from ..net.link import LinkConfig
+from ..sim.units import us
 from ..switch.active import ActiveSwitchConfig
 from .config import ClusterConfig
 
@@ -90,6 +91,29 @@ def chaos_2003(seed: int = 0, **overrides) -> ClusterConfig:
     return replace(base, **overrides) if overrides else base
 
 
+def failstop_2003(seed: int = 0, kills: int = 1, **overrides) -> ClusterConfig:
+    """The paper testbed with fail-stop component deaths.
+
+    ``kills`` random top-level (spine/root) switches die at seeded
+    times mid-run; links use a light transient loss rate on top, so
+    both recovery tiers (retransmission and failover/repair) engage.
+    Collectives detect the deaths via ACK escalation and heartbeats,
+    re-root around them, and still produce bit-exact results — the run
+    report shows detection latency and repair counts.
+    """
+    base = ClusterConfig(
+        seed=seed,
+        faults=FaultPlan(
+            link=LinkFaults(drop_rate=0.001),
+            # Kills land inside the window a 64-host collective is
+            # actually in flight, so the failover/repair path really runs.
+            failstop=FailStopFaults(random_switch_kills=kills,
+                                    kill_window_ps=(us(2), us(20))),
+        ),
+    )
+    return replace(base, **overrides) if overrides else base
+
+
 PRESETS: Dict[str, Callable[..., ClusterConfig]] = {
     "paper_2003": paper_2003,
     "fast_fabric": fast_fabric,
@@ -97,6 +121,7 @@ PRESETS: Dict[str, Callable[..., ClusterConfig]] = {
     "fast_switch_cpu": fast_switch_cpu,
     "balanced_2006": balanced_2006,
     "chaos_2003": chaos_2003,
+    "failstop_2003": failstop_2003,
 }
 
 

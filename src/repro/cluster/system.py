@@ -239,14 +239,29 @@ class System:
         if self.injector is None:
             return report
         retransmits = dropped = corrupted = 0
+        capped = abandoned = 0
         for to_switch, from_switch in self._links.values():
             for link in (to_switch, from_switch):
                 retransmits += link.stats.retransmits
                 dropped += link.stats.packets_dropped
                 corrupted += link.stats.packets_corrupted
+                capped += link.stats.capped_backoffs
+                abandoned += link.stats.packets_abandoned
         report["link_retransmits"] = float(retransmits)
         report["link_packets_dropped"] = float(dropped)
         report["link_packets_corrupted"] = float(corrupted)
+        # Fail-stop counters only appear when the machinery fired, so
+        # transient-only chaos reports keep their pre-1.5 key set.
+        if capped:
+            report["link_capped_backoffs"] = float(capped)
+        if abandoned:
+            report["link_packets_abandoned"] = float(abandoned)
+        ports_failed = self.switch.stats.ports_failed
+        tx_abandoned = self.switch.stats.tx_abandoned
+        if ports_failed:
+            report["switch_ports_failed"] = float(ports_failed)
+        if tx_abandoned:
+            report["switch_tx_abandoned"] = float(tx_abandoned)
         report["disk_transient_errors"] = float(
             sum(node.disks.transient_errors for node in self.storage_nodes))
         report["disk_retries"] = float(

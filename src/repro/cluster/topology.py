@@ -45,6 +45,15 @@ class TreeSwitch:
     hosts: List[ComputeNode] = field(default_factory=list)
     #: Hosts in this switch's subtree (for routing).
     subtree_hosts: List[str] = field(default_factory=list)
+    #: Fail-stop ground truth: when this switch died (None = alive).
+    failed_at: Optional[int] = None
+    #: When a surviving neighbor first *detected* the death; the gap to
+    #: ``failed_at`` is the fabric's detection latency.
+    detected_down_at: Optional[int] = None
+
+    @property
+    def is_down(self) -> bool:
+        return self.failed_at is not None
 
     @property
     def name(self) -> str:

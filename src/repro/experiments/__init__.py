@@ -13,6 +13,7 @@ Usage::
 paper-vs-measured report (the source of EXPERIMENTS.md).
 """
 
+from . import availability  # noqa: F401  (extension experiment)
 from . import figures  # noqa: F401  (registration side effects)
 from . import multiprogramming  # noqa: F401  (extension experiment)
 from . import scale_fabric  # noqa: F401  (extension experiment)

@@ -10,10 +10,13 @@ accounts.
 """
 
 from .injector import FaultInjector, HandlerCrashError, stream_seed
-from .plan import DiskFaults, FaultPlan, HandlerFaults, LinkFaults, ScsiFaults
+from .plan import (DiskFaults, FailStopEvent, FailStopFaults, FaultPlan,
+                   HandlerFaults, LinkFaults, ScsiFaults)
 
 __all__ = [
     "DiskFaults",
+    "FailStopEvent",
+    "FailStopFaults",
     "FaultInjector",
     "FaultPlan",
     "HandlerCrashError",

@@ -24,7 +24,7 @@ import hashlib
 import random
 from typing import Dict, List, Optional
 
-from .plan import FaultPlan
+from .plan import FailStopEvent, FaultPlan
 
 
 class HandlerCrashError(Exception):
@@ -62,6 +62,8 @@ class FaultInjector:
             "scsi_errors": 0,
             "handler_crashes": 0,
             "atb_corruptions": 0,
+            "failstop_switch_down": 0,
+            "failstop_link_down": 0,
         }
 
     # ------------------------------------------------------------------
@@ -169,6 +171,42 @@ class FaultInjector:
             self.injected["atb_corruptions"] += 1
         self._record(component, index, "corrupt" if corrupted else "ok")
         return corrupted
+
+    # ------------------------------------------------------------------
+    # Fail-stop faults
+    # ------------------------------------------------------------------
+    def failstop_schedule(self, candidates) -> List[FailStopEvent]:
+        """The run's concrete fail-stop schedule, in firing order.
+
+        Scripted :attr:`~repro.faults.FailStopFaults.events` pass
+        through verbatim; ``random_switch_kills`` victims are drawn
+        (without replacement) from ``candidates`` — the fabric's
+        top-level switch names — with kill times uniform in the plan's
+        window.  Both come from the dedicated ``failstop`` stream, so
+        the schedule is a pure function of (seed, candidate order) and
+        lands in :meth:`fingerprint` like every other decision.
+        """
+        cfg = self.plan.failstop
+        events = list(cfg.events)
+        candidates = list(candidates)
+        kills = min(cfg.random_switch_kills, len(candidates))
+        if kills:
+            stream = self._stream("failstop")
+            lo, hi = cfg.kill_window_ps
+            victims = stream.sample(candidates, kills)
+            for victim in victims:
+                at_ps = stream.randrange(lo, hi + 1)
+                events.append(FailStopEvent(kind="switch_down",
+                                            target=victim, at_ps=at_ps))
+        events.sort(key=lambda e: (e.at_ps, e.kind, e.target))
+        return events
+
+    def failstop_fired(self, event: FailStopEvent) -> None:
+        """Account one fail-stop event actually applied to the fabric."""
+        key = f"failstop_{event.kind}"
+        self.injected[key] = self.injected.get(key, 0) + 1
+        self._log.append(
+            f"failstop/{event.target}@{event.at_ps}:{event.kind}")
 
     # ------------------------------------------------------------------
     # Reporting

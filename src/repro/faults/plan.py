@@ -45,6 +45,12 @@ class LinkFaults:
     #: ``ack_timeout_ps * backoff_factor**k`` before retransmitting.
     ack_timeout_ps: int = us(5)
     backoff_factor: float = 2.0
+    #: Ceiling on one backed-off wait.  ``backoff_factor ** attempt`` is
+    #: unbounded, so a long outage (a fail-stopped neighbor) would
+    #: otherwise schedule absurd timeouts; capped waits are counted in
+    #: :attr:`~repro.net.link.LinkStats.capped_backoffs`.  ``None``
+    #: keeps the pre-1.5 unbounded behavior.
+    max_backoff_ps: Optional[int] = None
     #: Retransmissions allowed per packet before the link gives up.
     max_retries: int = 8
     #: Deterministic fault script (mainly for tests): serialization
@@ -62,6 +68,10 @@ class LinkFaults:
             raise ValueError("ack_timeout_ps must be positive")
         if self.backoff_factor < 1.0:
             raise ValueError("backoff_factor must be >= 1")
+        if self.max_backoff_ps is not None \
+                and self.max_backoff_ps < self.ack_timeout_ps:
+            raise ValueError(
+                "max_backoff_ps cannot undercut the first ack_timeout_ps")
         if self.max_retries < 0:
             raise ValueError("max_retries cannot be negative")
 
@@ -156,6 +166,82 @@ class HandlerFaults:
 
 
 @dataclass(frozen=True)
+class FailStopEvent:
+    """One scheduled fail-stop: a component dies outright at ``at_ps``.
+
+    ``kind`` is ``"switch_down"`` (``target`` is a switch name; every
+    link touching it dies with it) or ``"link_down"`` (``target`` is one
+    link direction, named ``"src->dst"``).  ``revive_at_ps`` optionally
+    brings the component back — its *wires* recover; any handler state
+    it held is gone, which is exactly what the epoch-numbered collective
+    recovery is built to survive.  Targets not present in the fabric
+    under test are ignored, so one plan can ride a topology sweep.
+    """
+
+    kind: str
+    target: str
+    at_ps: int
+    revive_at_ps: Optional[int] = None
+
+    def __post_init__(self):
+        if self.kind not in ("switch_down", "link_down"):
+            raise ValueError(
+                f"unknown fail-stop kind {self.kind!r}; "
+                f"expected 'switch_down' or 'link_down'")
+        if self.at_ps < 0:
+            raise ValueError("fail-stop time cannot be negative")
+        if self.revive_at_ps is not None and self.revive_at_ps <= self.at_ps:
+            raise ValueError("revive_at_ps must come after at_ps")
+
+
+@dataclass(frozen=True)
+class FailStopFaults:
+    """Fail-stop (whole-component) failures and the recovery policy.
+
+    Two ways to schedule deaths: ``events`` scripts them exactly, and
+    ``random_switch_kills`` draws that many victims from the fabric's
+    top (core/spine) level, with kill times uniform in ``kill_window_ps``
+    — both deterministic functions of the injector seed, like every
+    other fault stream.
+
+    Detection and recovery knobs live here because they only matter
+    when something can actually die: ``heartbeat_interval_ps`` paces the
+    per-switch liveness monitor (detection latency is bounded by one
+    interval), ``collective_timeout_ps`` is the end-to-end deadline a
+    placed collective waits before declaring the attempt lost and
+    repairing, and ``max_attempts`` bounds the repair/retry loop.
+    """
+
+    events: Tuple[FailStopEvent, ...] = ()
+    #: Seeded random spine/core kills (drawn from the fabric's top level).
+    random_switch_kills: int = 0
+    kill_window_ps: Tuple[int, int] = (us(5), us(50))
+    #: Liveness-monitor period on every switch (and detection bound).
+    heartbeat_interval_ps: int = us(10)
+    #: End-to-end deadline per collective attempt before repair.
+    collective_timeout_ps: int = us(400)
+    #: Collective attempts (initial + repairs) before giving up.
+    max_attempts: int = 4
+
+    def __post_init__(self):
+        if self.random_switch_kills < 0:
+            raise ValueError("random_switch_kills cannot be negative")
+        lo, hi = self.kill_window_ps
+        if lo < 0 or hi < lo:
+            raise ValueError(f"bad kill window {self.kill_window_ps}")
+        if self.heartbeat_interval_ps <= 0:
+            raise ValueError("heartbeat_interval_ps must be positive")
+        if self.collective_timeout_ps <= 0:
+            raise ValueError("collective_timeout_ps must be positive")
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+
+    @property
+    def enabled(self) -> bool:
+        return bool(self.events) or self.random_switch_kills > 0
+
+
+@dataclass(frozen=True)
 class FaultPlan:
     """Everything that may be injected into one simulated run."""
 
@@ -163,6 +249,7 @@ class FaultPlan:
     disk: DiskFaults = field(default_factory=DiskFaults)
     scsi: ScsiFaults = field(default_factory=ScsiFaults)
     handler: HandlerFaults = field(default_factory=HandlerFaults)
+    failstop: FailStopFaults = field(default_factory=FailStopFaults)
     #: Optional seed override; ``None`` defers to the cluster seed so a
     #: single ``ClusterConfig.seed`` reproduces the whole run.
     seed: Optional[int] = None
@@ -171,4 +258,5 @@ class FaultPlan:
     def enabled(self) -> bool:
         """True when any component can actually fault."""
         return (self.link.enabled or self.disk.enabled
-                or self.scsi.enabled or self.handler.enabled)
+                or self.scsi.enabled or self.handler.enabled
+                or self.failstop.enabled)

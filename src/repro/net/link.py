@@ -17,6 +17,7 @@ Two granularities are offered:
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
+from typing import Callable, List, Optional
 
 from ..metrics.sampling import BusyTracker
 from ..sim.core import Environment
@@ -27,6 +28,20 @@ from .packet import Packet
 
 class LinkTransmissionError(Exception):
     """A packet exhausted its retransmission budget."""
+
+
+#: Retry policy used for a fail-stopped link when no fault plan is
+#: attached (a link can die by explicit `fail()` without an injector).
+#: Constructed lazily to avoid an import cycle with repro.faults.
+_FALLBACK_POLICY = None
+
+
+def _fallback_policy():
+    global _FALLBACK_POLICY
+    if _FALLBACK_POLICY is None:
+        from ..faults.plan import LinkFaults
+        _FALLBACK_POLICY = LinkFaults()
+    return _FALLBACK_POLICY
 
 
 @dataclass(frozen=True)
@@ -66,6 +81,10 @@ class LinkStats:
     retransmits: int = 0
     bytes_sent: int = 0
     bytes_delivered: int = 0
+    #: Backed-off ACK-timeout waits clamped to ``max_backoff_ps``.
+    capped_backoffs: int = 0
+    #: Packets abandoned after the full retry budget (fail-stop signal).
+    packets_abandoned: int = 0
 
     # Pre-reliability aliases: "the" packet/byte count of a link is what
     # it actually delivered.
@@ -99,10 +118,58 @@ class Link:
         #: checkable at any instant (see :meth:`assert_credit_conservation`).
         self._credits_outstanding = 0
         self._injector = None
+        #: Fail-stop state: simulation time the wire went dead (ground
+        #: truth; nobody on the data path reads this directly — senders
+        #: *discover* it via ACK-timeout escalation).
+        self._down_since: Optional[int] = None
+        #: When the sender side *declared* this link dead (a packet
+        #: exhausted its retry budget); detection latency is the gap to
+        #: ``_down_since``.
+        self.declared_down_at: Optional[int] = None
+        self._down_listeners: List[Callable[[], None]] = []
 
     def attach_faults(self, injector) -> None:
         """Subject this link to ``injector``'s fault plan (idempotent)."""
         self._injector = injector
+
+    # ------------------------------------------------------------------
+    # Fail-stop state
+    # ------------------------------------------------------------------
+    @property
+    def is_down(self) -> bool:
+        """Ground truth: is the wire currently dead?"""
+        return self._down_since is not None
+
+    def fail(self) -> None:
+        """Fail-stop this link direction: every copy sent from now on
+        vanishes in the fabric (the sender sees only ACK silence)."""
+        if self._down_since is None:
+            self._down_since = self.env.now
+
+    def revive(self) -> None:
+        """Bring a fail-stopped wire back.  Sender-side declarations are
+        *not* reset — a revived path must be re-validated by the
+        management plane (``Fabric.revive_*`` restores routing)."""
+        self._down_since = None
+
+    def add_down_listener(self, listener: Callable[[], None]) -> None:
+        """Call ``listener`` when the sender declares this link dead
+        (first retry-budget exhaustion).  The owning switch port uses
+        this to fail over its routing table."""
+        self._down_listeners.append(listener)
+
+    def _declare_down(self) -> None:
+        if self.declared_down_at is not None:
+            return
+        self.declared_down_at = self.env.now
+        trace = self.env.trace
+        if trace is not None:
+            trace.instant(self.name, "link.down_declared", self.env.now,
+                          down_since=(self._down_since
+                                      if self._down_since is not None
+                                      else -1))
+        for listener in self._down_listeners:
+            listener()
 
     # ------------------------------------------------------------------
     # Packet-level path
@@ -136,8 +203,14 @@ class Link:
                     self.busy.exit()
             self.stats.packets_sent += 1
             self.stats.bytes_sent += packet.wire_bytes
-            outcome = ("ok" if faults is None or not faults.enabled
-                       else injector.link_outcome(self.name))
+            if self._down_since is not None:
+                # Fail-stop: the copy vanishes regardless of any fault
+                # plan — the sender only ever observes ACK silence.  No
+                # injector draw, so transient streams stay aligned.
+                outcome = "down"
+            else:
+                outcome = ("ok" if faults is None or not faults.enabled
+                           else injector.link_outcome(self.name))
             trace = self.env.trace
             if trace is not None:
                 trace.span(self.name, "link.xmit", start_ps,
@@ -153,29 +226,44 @@ class Link:
                 self.env.process(self._deliver(packet),
                                  name=f"{self.name}-deliver")
                 return
-            if attempt >= faults.max_retries:
+            # A dead wire needs a retry policy even without a fault plan.
+            policy = faults if faults is not None else _fallback_policy()
+            if attempt >= policy.max_retries:
                 # The last copy still goes in its outcome bucket so that
                 # sent == delivered + dropped + corrupted holds even for
                 # packets that exhaust their retries.
-                if outcome == "drop":
-                    self.stats.packets_dropped += 1
-                else:
+                if outcome == "corrupt":
                     self.stats.packets_corrupted += 1
+                else:
+                    self.stats.packets_dropped += 1
+                self.stats.packets_abandoned += 1
                 self._credits_outstanding -= 1
                 yield self._credits.put(1)
+                # Recycle the compose buffer: there will be no further
+                # retransmission to pin it for.
+                if packet.notify is not None and not packet.notify.triggered:
+                    packet.notify.succeed()
+                # ACK-timeout escalation: a packet that stayed silent
+                # through the whole budget declares the port dead.
+                self._declare_down()
                 raise LinkTransmissionError(
                     f"{self.name}: packet msg={packet.message_id} "
                     f"seq={packet.seq} still {outcome} after "
-                    f"{faults.max_retries} retries")
+                    f"{policy.max_retries} retries")
             self.stats.retransmits += 1
-            if outcome == "drop":
+            if outcome in ("drop", "down"):
                 # The copy vanished in the fabric: its credit must come
                 # back *here* — nobody downstream will ever return it.
                 self.stats.packets_dropped += 1
                 self._credits_outstanding -= 1
                 yield self._credits.put(1)
-                backoff = faults.backoff_factor ** attempt
-                yield self.env.timeout(int(faults.ack_timeout_ps * backoff))
+                backoff_ps = int(
+                    policy.ack_timeout_ps * policy.backoff_factor ** attempt)
+                if policy.max_backoff_ps is not None \
+                        and backoff_ps > policy.max_backoff_ps:
+                    backoff_ps = policy.max_backoff_ps
+                    self.stats.capped_backoffs += 1
+                yield self.env.timeout(backoff_ps)
                 yield self._credits.get(1)
                 self._credits_outstanding += 1
             else:  # corrupt: the copy arrives, fails CRC, and is NACKed.

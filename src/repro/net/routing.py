@@ -22,7 +22,7 @@ Multi-stage fabrics add two refinements:
 from __future__ import annotations
 
 import zlib
-from typing import Dict, Iterable, Optional, Sequence, Tuple
+from typing import Dict, Iterable, Optional, Sequence, Set, Tuple
 
 
 class RoutingError(Exception):
@@ -49,6 +49,13 @@ class RoutingTable:
         #: ECMP: destination -> candidate up-ports (sorted, deduplicated).
         self._groups: Dict[str, Tuple[int, ...]] = {}
         self._default_port: Optional[int] = None
+        #: Ports declared dead (fail-stop); lookups never select them.
+        self._down: Set[int] = set()
+        #: destination -> *surviving* ECMP members.  Aliases ``_groups``
+        #: while nothing is down, so the failure-free lookup path is the
+        #: exact pre-failover code; rebuilt once per mark_down/restore
+        #: so per-packet lookups stay O(1) during an outage.
+        self._live_groups: Dict[str, Tuple[int, ...]] = self._groups
 
     def add(self, destination: str, port: int) -> None:
         """Route traffic for ``destination`` to ``port``."""
@@ -56,6 +63,8 @@ class RoutingTable:
             raise ValueError(f"port must be non-negative, got {port}")
         self._routes[destination] = port
         self._groups.pop(destination, None)
+        if self._down:
+            self._rebuild_live()
 
     def add_many(self, destinations: Iterable[str], port: int) -> None:
         """Route several destinations out the same port (uplinks)."""
@@ -78,6 +87,8 @@ class RoutingTable:
             return
         self._routes.pop(destination, None)
         self._groups[destination] = unique
+        if self._down:
+            self._rebuild_live()
 
     def add_group_many(self, destinations: Iterable[str],
                        ports: Sequence[int]) -> None:
@@ -95,39 +106,96 @@ class RoutingTable:
     def default_port(self) -> Optional[int]:
         return self._default_port
 
+    # ------------------------------------------------------------------
+    # Failover
+    # ------------------------------------------------------------------
+    def mark_down(self, port: int) -> bool:
+        """Exclude ``port`` from every lookup (fail-stop failover).
+
+        ECMP groups re-hash onto their surviving members; plain routes
+        and a down default raise :class:`RoutingError` at lookup time —
+        traffic fails loudly instead of feeding a dead wire.  Returns
+        ``True`` when the port was newly marked.
+        """
+        if port in self._down:
+            return False
+        self._down.add(port)
+        self._rebuild_live()
+        return True
+
+    def restore(self, port: int) -> bool:
+        """Readmit a previously :meth:`mark_down`-ed port.  Returns
+        ``True`` when the port was actually down."""
+        if port not in self._down:
+            return False
+        self._down.discard(port)
+        self._rebuild_live()
+        return True
+
+    @property
+    def down_ports(self) -> Tuple[int, ...]:
+        """Currently excluded ports, sorted."""
+        return tuple(sorted(self._down))
+
+    def _rebuild_live(self) -> None:
+        if not self._down:
+            self._live_groups = self._groups
+            return
+        self._live_groups = {
+            destination: tuple(p for p in group if p not in self._down)
+            for destination, group in self._groups.items()}
+
     def lookup(self, destination: str, flow_key: Optional[object] = None
                ) -> int:
         """Output port for ``destination``.
 
         ``flow_key`` selects among ECMP candidates (hashed, stable); it
         defaults to the destination itself, so single-path tables behave
-        exactly as before.
+        exactly as before.  Ports excluded by :meth:`mark_down` are
+        never returned: ECMP flows re-hash across the survivors, and a
+        destination whose only route is down raises
+        :class:`RoutingError`.
         """
         port = self._routes.get(destination)
         if port is not None:
+            if port in self._down:
+                raise RoutingError(
+                    f"{self.switch_name}: only route to {destination!r} "
+                    f"is down port {port}")
             return port
-        if self._groups:
-            group = self._groups.get(destination)
+        if self._live_groups:
+            group = self._live_groups.get(destination)
             if group is not None:
+                if not group:
+                    raise RoutingError(
+                        f"{self.switch_name}: every ECMP port to "
+                        f"{destination!r} is down")
                 index = flow_hash(destination if flow_key is None
                                   else flow_key) % len(group)
                 return group[index]
         if self._default_port is None:
             raise RoutingError(
                 f"{self.switch_name}: no route to {destination!r}")
+        if self._default_port in self._down:
+            raise RoutingError(
+                f"{self.switch_name}: default port {self._default_port} "
+                f"to {destination!r} is down")
         return self._default_port
 
     def ports_for(self, destination: str) -> Tuple[int, ...]:
-        """Every port ``destination`` may be routed to (explicit routes
-        and ECMP members; the default port only when nothing explicit
-        exists).  Empty when the destination is unroutable."""
+        """Every *live* port ``destination`` may be routed to (explicit
+        routes and surviving ECMP members; the default port only when
+        nothing explicit exists).  Empty when the destination is
+        unroutable — including when every candidate port is down, which
+        is how static validation sees a partition."""
         port = self._routes.get(destination)
         if port is not None:
-            return (port,)
-        group = self._groups.get(destination)
+            return () if port in self._down else (port,)
+        group = self._live_groups.get(destination)
         if group is not None:
             return group
-        if self._default_port is not None:
+        if self._default_port is not None and \
+                self._default_port not in self._down:
             return (self._default_port,)
         return ()
 

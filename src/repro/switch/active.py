@@ -125,9 +125,10 @@ class ActiveSwitch(BaseSwitch):
     # ------------------------------------------------------------------
     # Handler registration (done by the embedded kernel at boot)
     # ------------------------------------------------------------------
-    def register_handler(self, handler_id: int, handler: Callable) -> None:
+    def register_handler(self, handler_id: int, handler: Callable,
+                         replace: bool = False) -> None:
         """Install ``handler(ctx)`` in the jump table."""
-        self.jump_table.register(handler_id, handler)
+        self.jump_table.register(handler_id, handler, replace=replace)
 
     def register_flush(self, handler_id: int, flush: Callable) -> None:
         """Install a trusted drain hook run if ``handler_id`` is quarantined.

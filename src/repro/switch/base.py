@@ -16,9 +16,9 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional
 
-from ..net.link import Link
+from ..net.link import Link, LinkTransmissionError
 from ..net.packet import Packet
-from ..net.routing import RoutingTable
+from ..net.routing import RoutingError, RoutingTable
 from ..sim.core import Environment
 from ..sim.resources import Store
 from ..sim.units import ns
@@ -47,6 +47,10 @@ class SwitchStats:
     forwarded: int = 0
     delivered_local: int = 0
     dropped: int = 0
+    #: Ports failed over after their tx link was declared dead.
+    ports_failed: int = 0
+    #: Packets abandoned by a transmitter on a dead port.
+    tx_abandoned: int = 0
 
 
 class PortNotConnected(Exception):
@@ -82,6 +86,7 @@ class BaseSwitch:
         if self._tx_links[port] is not None:
             raise ValueError(f"{self.name}: port {port} already connected")
         self._tx_links[port] = tx_link
+        tx_link.add_down_listener(lambda: self._port_down(port, tx_link))
         self.env.process(self._reader(port, rx_link),
                          name=f"{self.name}-rx{port}", daemon=True)
 
@@ -109,10 +114,46 @@ class BaseSwitch:
         if packet.dst == self.name:
             yield from self.deliver_local(packet, in_port)
             return
-        out_port = self.routing.lookup(packet.dst,
-                                       flow_key=(packet.src, packet.dst))
+        try:
+            out_port = self.routing.lookup(packet.dst,
+                                           flow_key=(packet.src, packet.dst))
+        except RoutingError:
+            # On a healthy fabric this is a wiring bug and must stay
+            # loud.  With failed-over ports it is expected degradation:
+            # the packet has nowhere to go, so it is dropped here and
+            # end-to-end recovery (the collective retry) takes over —
+            # killing the reader would wedge the port forever.
+            if not self.routing.down_ports:
+                raise
+            self.stats.dropped += 1
+            trace = self.env.trace
+            if trace is not None:
+                trace.instant(self.name, "packet.no_route", self.env.now,
+                              dst=packet.dst, msg=packet.message_id)
+            return
         self.stats.forwarded += 1
         yield self._output_queues[out_port].put(packet)
+
+    def _port_down(self, port: int, link: Link) -> None:
+        """The tx link on ``port`` was declared dead: fail over.
+
+        Fired by the link's down listener (first retry-budget
+        exhaustion) or by a heartbeat monitor that noticed a dead
+        neighbor.  The routing table stops offering the port — ECMP
+        flows re-hash onto survivors — and the event is traced so
+        detection latency is measurable.
+        """
+        if not self.routing.mark_down(port):
+            return
+        self.stats.ports_failed += 1
+        trace = self.env.trace
+        if trace is not None:
+            trace.instant(self.name, "port.down", self.env.now,
+                          port=port, link=link.name)
+
+    def port_restore(self, port: int) -> None:
+        """Readmit a repaired port (management plane, after revival)."""
+        self.routing.restore(port)
 
     def _transmitter(self, port: int):
         queue = self._output_queues[port]
@@ -122,7 +163,14 @@ class BaseSwitch:
             if link is None:
                 raise PortNotConnected(
                     f"{self.name}: routed packet to unconnected port {port}")
-            yield from link.send(packet)
+            try:
+                yield from link.send(packet)
+            except LinkTransmissionError:
+                # The packet is gone (the link declared the port down and
+                # recycled its buffer); the transmitter must survive to
+                # serve the port if it is ever repaired.  End-to-end
+                # recovery is the collective's retry loop, not ours.
+                self.stats.tx_abandoned += 1
 
     def inject(self, packet: Packet, out_port: Optional[int] = None):
         """Queue a locally originated packet for transmission.

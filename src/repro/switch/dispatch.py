@@ -33,12 +33,18 @@ class JumpTable:
         self.size = size
         self._handlers: Dict[int, Callable] = {}
 
-    def register(self, handler_id: int, handler: Callable) -> None:
-        """Install ``handler`` at ``handler_id``."""
+    def register(self, handler_id: int, handler: Callable,
+                 replace: bool = False) -> None:
+        """Install ``handler`` at ``handler_id``.
+
+        Double registration is a kernel bug and raises, unless
+        ``replace=True`` — used by collective retry, which re-installs
+        fresh per-epoch handlers over the previous attempt's.
+        """
         if not 0 <= handler_id < self.size:
             raise DispatchError(
                 f"handler ID {handler_id} outside the 6-bit field")
-        if handler_id in self._handlers:
+        if handler_id in self._handlers and not replace:
             raise DispatchError(f"handler ID {handler_id} already registered")
         self._handlers[handler_id] = handler
 

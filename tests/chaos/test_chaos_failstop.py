@@ -1,0 +1,117 @@
+"""Chaos: fail-stop switch deaths mid-reduction on real fat-trees.
+
+Random spines die while a placed reduction is in flight (64-256 hosts);
+detection, ECMP failover, and epoch-numbered placement repair must keep
+every collective bit-identical to the host-side oracle.  Schedules are
+drawn from the injector's dedicated fail-stop stream, so identical
+seeds reproduce identical kills.
+"""
+
+import pytest
+
+from repro.apps.reduction import REDUCTION_HCA, _make_vectors, _oracle
+from repro.cluster.fabric import TopologySpec, build_fabric
+from repro.cluster.placement import plan_placement, run_placed_reduction
+from repro.faults import FailStopFaults, FaultInjector, FaultPlan, LinkFaults
+from repro.sim import Environment
+from repro.sim.units import us
+
+pytestmark = pytest.mark.chaos
+
+#: Kills land inside the collective's vulnerable window (clean runs
+#: finish around 40-48 us on these shapes with REDUCTION_HCA).
+KILL_WINDOW_PS = (us(5), us(45))
+
+
+def _chaos_fabric(hosts, seed, kills=1, link_faults=None):
+    env = Environment()
+    plan = FaultPlan(
+        link=link_faults if link_faults is not None else LinkFaults(),
+        failstop=FailStopFaults(random_switch_kills=kills,
+                                kill_window_ps=KILL_WINDOW_PS,
+                                collective_timeout_ps=us(200)))
+    injector = FaultInjector(plan, seed=seed)
+    if hosts > 128:
+        spec = TopologySpec(kind="fat_tree", num_hosts=hosts,
+                            hosts_per_leaf=16, switch_ports=32)
+    else:
+        spec = TopologySpec(kind="fat_tree", num_hosts=hosts)
+    fabric = build_fabric(env, spec, hca_config=REDUCTION_HCA,
+                          injector=injector)
+    return fabric, injector
+
+
+def _reduce(fabric):
+    vectors = _make_vectors(len(fabric.hosts))
+    done = run_placed_reduction(fabric, plan_placement(fabric, "per_level"),
+                                vectors)
+    assert done["result"] == _oracle(vectors)
+    return done
+
+
+@pytest.mark.parametrize("hosts", [64, 128, 256])
+@pytest.mark.parametrize("seed", [1, 2, 3])
+def test_random_spine_kill_mid_reduction_is_exact(hosts, seed):
+    fabric, injector = _chaos_fabric(hosts, seed=seed)
+    done = _reduce(fabric)
+    assert fabric.ft.switch_kills == 1      # the kill actually landed
+    snapshot = injector.snapshot()
+    assert snapshot["injected_failstop_switch_down"] == 1.0
+    # Recovery bookkeeping is consistent however the kill landed: a
+    # repair implies a retry, and a retry implies the timeout fired.
+    assert done["attempts"] >= 1 + done["repairs"]
+    if done["repairs"]:
+        assert fabric.ft.repairs == done["repairs"]
+        assert fabric.ft.detections > 0
+
+
+def test_double_spine_kill_still_recovers():
+    """Two of the four spines die; the survivors must carry the tree."""
+    fabric, _ = _chaos_fabric(128, seed=5, kills=2)
+    done = _reduce(fabric)
+    assert fabric.ft.switch_kills == 2
+    assert done["attempts"] <= 4
+
+
+def test_failstop_on_top_of_lossy_links_is_exact():
+    """Fail-stop and transient faults together: CRC/NACK recovery hides
+    the drops while failover/repair hides the dead spine."""
+    fabric, _ = _chaos_fabric(
+        64, seed=9, link_faults=LinkFaults(drop_rate=0.05))
+    done = _reduce(fabric)
+    assert fabric.ft.switch_kills == 1
+    assert done["attempts"] >= 1
+
+
+def test_kill_schedule_reproduces_with_seed():
+    outcomes = []
+    for _ in range(2):
+        fabric, injector = _chaos_fabric(64, seed=13)
+        done = _reduce(fabric)
+        outcomes.append((done["latency_ps"], done["attempts"],
+                         done["repairs"], injector.fingerprint()))
+    assert outcomes[0] == outcomes[1]
+
+
+def test_different_seeds_draw_different_kills():
+    fingerprints = set()
+    for seed in (1, 2, 3, 4):
+        fabric, injector = _chaos_fabric(64, seed=seed)
+        _reduce(fabric)
+        fingerprints.add(injector.fingerprint())
+    assert len(fingerprints) > 1
+
+
+def test_failstop_preset_through_run_front_door():
+    """repro.run arms the fail-stop driver from the preset's plan."""
+    import repro
+
+    result = repro.run("reduce", topology="fat_tree", hosts=64,
+                       placement="per_level", preset="failstop_2003",
+                       overrides={"seed": 1}, cases=("active",))
+    case = result.cases["active"]
+    assert case.extra["failstop_switch_kills"] == 1.0
+    assert "fabric.failovers" in case.extra
+    # seed=1 lands the kill mid-collective: full detect->repair->retry.
+    assert case.extra["collective_attempts"] == 2.0
+    assert case.extra["collective_repairs"] == 1.0

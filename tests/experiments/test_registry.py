@@ -22,6 +22,7 @@ EXPECTED_IDS = {
     "ext_two_level",
     "ext_multiprogramming",
     "ext_fabric_scale",
+    "ext_fabric_availability",
 }
 
 

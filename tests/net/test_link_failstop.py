@@ -1,0 +1,187 @@
+"""Fail-stop link behaviour: dead wires, ACK escalation, backoff caps."""
+
+import pytest
+
+from repro.faults import FaultInjector, FaultPlan, LinkFaults
+from repro.net import Link, LinkConfig, LinkTransmissionError, Packet
+from repro.sim import Environment
+from repro.sim.units import us
+
+
+def _faulty_link(env, link_faults, seed=0, config=LinkConfig()):
+    link = Link(env, "l", config)
+    link.attach_faults(FaultInjector(FaultPlan(link=link_faults), seed=seed))
+    return link
+
+
+def _send_one(env, link, failures):
+    def sender(env):
+        try:
+            yield from link.send(Packet("a", "b", payload_bytes=64))
+        except LinkTransmissionError as exc:
+            failures.append(exc)
+    env.process(sender(env))
+
+
+# ----------------------------------------------------------------------
+# A dead wire: every copy vanishes, the sender escalates
+# ----------------------------------------------------------------------
+def test_dead_wire_abandons_after_retry_budget():
+    env = Environment()
+    link = _faulty_link(env, LinkFaults(max_retries=3))
+    link.fail()
+    failures = []
+    _send_one(env, link, failures)
+    env.run()
+    assert len(failures) == 1
+    # All copies vanished: counted as drops, one abandonment.
+    assert link.stats.packets_sent == 4
+    assert link.stats.packets_dropped == 4
+    assert link.stats.packets_abandoned == 1
+    assert link.stats.packets_delivered == 0
+    link.assert_credit_conservation()
+    assert link._credits.level == link.config.credits
+
+
+def test_dead_wire_declares_down_and_fires_listeners():
+    env = Environment()
+    link = _faulty_link(env, LinkFaults(max_retries=1))
+    fired = []
+    link.add_down_listener(lambda: fired.append(env.now))
+    link.fail()
+    _send_one(env, link, failures=[])
+    env.run()
+    assert link.declared_down_at == env.now
+    assert fired == [env.now]
+    # Idempotent: a second exhausted packet must not re-declare.
+    _send_one(env, link, failures=[])
+    env.run()
+    assert len(fired) == 1
+
+
+def test_dead_wire_without_fault_plan_uses_fallback_policy():
+    """A link can die by explicit fail() with no injector attached; the
+    sender still escalates instead of retrying forever."""
+    env = Environment()
+    link = Link(env, "l")
+    link.fail()
+    failures = []
+    _send_one(env, link, failures)
+    env.run()
+    assert len(failures) == 1
+    assert link.declared_down_at is not None
+    link.assert_credit_conservation()
+
+
+def test_down_outcome_skips_injector_draw():
+    """Fail-stop must not consume the transient fault stream: a run with
+    the wire down draws nothing, keeping other links' schedules aligned."""
+    env = Environment()
+    plan = FaultPlan(link=LinkFaults(drop_rate=0.5, max_retries=2))
+    injector = FaultInjector(plan, seed=3)
+    link = Link(env, "l")
+    link.attach_faults(injector)
+    link.fail()
+    before = injector.snapshot()
+    _send_one(env, link, failures=[])
+    env.run()
+    after = injector.snapshot()
+    assert before.get("injected_link_drop", 0.0) == \
+        after.get("injected_link_drop", 0.0)
+
+
+def test_notify_fires_exactly_once_on_abandonment():
+    """The compose buffer must be recycled even for an abandoned packet
+    (no retransmission will ever need it again)."""
+    env = Environment()
+    link = _faulty_link(env, LinkFaults(max_retries=1))
+    link.fail()
+    packet = Packet("a", "b", payload_bytes=64)
+    packet.notify = env.event()
+    fired = []
+    packet.notify.callbacks.append(lambda e: fired.append(env.now))
+
+    def sender(env):
+        with pytest.raises(LinkTransmissionError):
+            yield from link.send(packet)
+
+    env.process(sender(env))
+    env.run()
+    assert len(fired) == 1
+
+
+def test_revive_restores_delivery_but_not_declaration():
+    env = Environment()
+    link = _faulty_link(env, LinkFaults(max_retries=1))
+    link.fail()
+    _send_one(env, link, failures=[])
+    env.run()
+    assert link.declared_down_at is not None
+    link.revive()
+    assert not link.is_down
+    # The declaration persists until the management plane clears it.
+    assert link.declared_down_at is not None
+    received = []
+
+    def sender(env):
+        yield from link.send(Packet("a", "b", payload_bytes=64))
+
+    def receiver(env):
+        received.append((yield from link.receive()))
+
+    env.process(sender(env))
+    env.process(receiver(env))
+    env.run()
+    assert len(received) == 1
+
+
+# ----------------------------------------------------------------------
+# Backoff cap
+# ----------------------------------------------------------------------
+def test_max_backoff_caps_waits_and_counts_them():
+    env = Environment()
+    faults = LinkFaults(ack_timeout_ps=us(5), backoff_factor=2.0,
+                        max_backoff_ps=us(10), max_retries=4)
+    link = _faulty_link(env, faults)
+    link.fail()
+    _send_one(env, link, failures=[])
+    start = env.now
+    env.run()
+    # Waits: 5, 10, capped(20->10), capped(40->10) us.
+    serialization = link.serialization_ps(64 + 16)
+    assert env.now - start == 5 * serialization + us(5) + 3 * us(10)
+    assert link.stats.capped_backoffs == 2
+
+
+def test_uncapped_backoff_still_grows_exponentially():
+    env = Environment()
+    faults = LinkFaults(ack_timeout_ps=us(5), backoff_factor=2.0,
+                        max_retries=3)
+    link = _faulty_link(env, faults)
+    link.fail()
+    _send_one(env, link, failures=[])
+    env.run()
+    serialization = link.serialization_ps(64 + 16)
+    assert env.now == 4 * serialization + us(5) + us(10) + us(20)
+    assert link.stats.capped_backoffs == 0
+
+
+def test_max_backoff_cannot_undercut_first_timeout():
+    with pytest.raises(ValueError, match="max_backoff_ps"):
+        LinkFaults(ack_timeout_ps=us(5), max_backoff_ps=us(1))
+
+
+# ----------------------------------------------------------------------
+# Conservation under fail-stop
+# ----------------------------------------------------------------------
+def test_outcome_conservation_holds_for_abandoned_packets():
+    env = Environment()
+    link = _faulty_link(env, LinkFaults(max_retries=2))
+    link.fail()
+    for _ in range(3):
+        _send_one(env, link, failures=[])
+    env.run()
+    s = link.stats
+    assert s.packets_sent == (s.packets_delivered + s.packets_dropped
+                              + s.packets_corrupted)
+    assert s.packets_abandoned == 3

@@ -108,3 +108,86 @@ def test_ports_for_falls_back_to_default():
     table.set_default(9)
     assert table.ports_for("ghost") == (9,)
     assert table.default_port == 9
+
+
+# ----------------------------------------------------------------------
+# Failover: mark_down / restore
+# ----------------------------------------------------------------------
+def test_mark_down_rehashes_ecmp_onto_survivors():
+    table = RoutingTable("sw0")
+    table.add_group("far", [2, 3, 4])
+    assert table.mark_down(3)
+    chosen = {table.lookup("far", flow_key=(f"host{i}", "far"))
+              for i in range(64)}
+    assert chosen == {2, 4}
+    assert table.ports_for("far") == (2, 4)
+    assert table.down_ports == (3,)
+    # Flows stay pinned among survivors (deterministic re-hash).
+    key = ("host0", "far")
+    assert table.lookup("far", flow_key=key) == \
+        table.lookup("far", flow_key=key)
+
+
+def test_mark_down_is_idempotent_and_restore_reverses_it():
+    table = RoutingTable("sw0")
+    table.add_group("far", [2, 3])
+    assert table.mark_down(3)
+    assert not table.mark_down(3)        # already down
+    assert table.restore(3)
+    assert not table.restore(3)          # already up
+    assert table.down_ports == ()
+    chosen = {table.lookup("far", flow_key=(f"h{i}", "far"))
+              for i in range(64)}
+    assert chosen == {2, 3}
+
+
+def test_restore_reproduces_pre_failure_hashing():
+    """After restore the live view re-aliases the full groups: every
+    flow maps exactly where it did before the outage."""
+    table = RoutingTable("sw0")
+    table.add_group("far", [1, 2, 3, 4])
+    before = {i: table.lookup("far", flow_key=(f"h{i}", "far"))
+              for i in range(32)}
+    table.mark_down(2)
+    table.restore(2)
+    after = {i: table.lookup("far", flow_key=(f"h{i}", "far"))
+             for i in range(32)}
+    assert before == after
+    assert table._live_groups is table._groups  # O(1) alias, not a copy
+
+
+def test_all_ecmp_members_down_raises():
+    table = RoutingTable("sw0")
+    table.add_group("far", [1, 2])
+    table.mark_down(1)
+    table.mark_down(2)
+    with pytest.raises(RoutingError, match="every ECMP port"):
+        table.lookup("far")
+    assert table.ports_for("far") == ()   # how validation sees a partition
+
+
+def test_plain_route_to_down_port_raises():
+    table = RoutingTable("sw0")
+    table.add("host3", 5)
+    table.mark_down(5)
+    with pytest.raises(RoutingError, match="down port 5"):
+        table.lookup("host3")
+    assert table.ports_for("host3") == ()
+
+
+def test_down_default_port_raises():
+    table = RoutingTable("sw0")
+    table.set_default(7)
+    table.mark_down(7)
+    with pytest.raises(RoutingError, match="default port 7"):
+        table.lookup("anything")
+    assert table.ports_for("anything") == ()
+
+
+def test_adding_routes_during_outage_respects_down_set():
+    table = RoutingTable("sw0")
+    table.mark_down(2)
+    table.add_group("far", [1, 2, 3])
+    assert table.ports_for("far") == (1, 3)
+    table.restore(2)
+    assert table.ports_for("far") == (1, 2, 3)
