@@ -30,9 +30,17 @@ Quickstart::
     result = repro.run("grep", scale=0.25)
     print(result.report().performance())
 
+    # Open-loop service traffic: how much load does a config sustain?
+    spec = repro.ServiceSpec(app="grep", case="active",
+                             rate_rps=4000, slo_ms=1.0)
+    print(repro.serve(spec).report().latency())
+
 ``repro.run`` accepts any registered benchmark name, a ``StreamApp``
-subclass, or (for the old API) a factory callable; add ``parallel=4``
-for a process pool and ``cache=True`` for on-disk result caching.
+subclass, or (for the old API) a factory callable; the canonical typed
+form bundles every knob in a frozen :class:`RunOptions`
+(``repro.run("grep", repro.RunOptions(parallel=4, cache=True))``) —
+see docs/api.md.  ``repro.serve`` is the open-loop analogue, driven by
+a frozen :class:`ServiceSpec`.
 """
 
 from .cluster import (
@@ -58,8 +66,10 @@ from .faults import (
 from .metrics import (
     BenchmarkResult,
     CaseResult,
+    QuantileEstimator,
     Report,
     breakdown_table,
+    latency_table,
     performance_table,
     reliability_table,
 )
@@ -74,6 +84,7 @@ from .runner import (
     AppSpec,
     ExperimentRunner,
     ResultCache,
+    RunOptions,
     RunResult,
     configure,
     make_spec,
@@ -84,8 +95,16 @@ from .runner import (
 )
 from .sim import Environment, Tracer
 from .switch import ActiveSwitch, ActiveSwitchConfig, BaseSwitch
+from .traffic import (
+    ServiceResult,
+    ServiceSpec,
+    ServiceSweep,
+    make_service_spec,
+    serve,
+    sweep_offered_load,
+)
 
-__version__ = "1.5.0"
+__version__ = "1.6.0"
 
 #: Authoritative public surface: `import *`, the docs' API reference,
 #: and tests/test_public_api.py all derive from this list.
@@ -94,7 +113,15 @@ __all__ = [
     "run",
     "run_many",
     "configure",
+    "RunOptions",
     "RunResult",
+    # Open-loop service traffic
+    "serve",
+    "ServiceSpec",
+    "ServiceResult",
+    "ServiceSweep",
+    "make_service_spec",
+    "sweep_offered_load",
     # Harness building blocks
     "AppSpec",
     "ExperimentRunner",
@@ -122,8 +149,10 @@ __all__ = [
     # Results and reporting
     "BenchmarkResult",
     "CaseResult",
+    "QuantileEstimator",
     "Report",
     "breakdown_table",
+    "latency_table",
     "performance_table",
     "reliability_table",
     # Observability

@@ -17,6 +17,7 @@ from . import availability  # noqa: F401  (extension experiment)
 from . import figures  # noqa: F401  (registration side effects)
 from . import multiprogramming  # noqa: F401  (extension experiment)
 from . import scale_fabric  # noqa: F401  (extension experiment)
+from . import service_slo  # noqa: F401  (extension experiment)
 from . import two_level  # noqa: F401  (extension experiment)
 from .registry import Experiment, all_experiments, compare, get
 

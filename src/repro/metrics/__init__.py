@@ -5,6 +5,7 @@ from .report import (
     bar_chart,
     breakdown_table,
     comparison_table,
+    latency_table,
     performance_bars,
     performance_table,
     reliability_table,
@@ -12,13 +13,14 @@ from .report import (
 )
 from .export import benchmark_result_rows, benchmark_result_to_csv, rows_to_csv
 from .results import BenchmarkResult, CaseResult
-from .sampling import BusyTracker, TimeWeighted
+from .sampling import BusyTracker, QuantileEstimator, TimeWeighted
 
 __all__ = [
     "BenchmarkResult",
     "CaseResult",
     "Report",
     "BusyTracker",
+    "QuantileEstimator",
     "benchmark_result_rows",
     "benchmark_result_to_csv",
     "rows_to_csv",
@@ -26,6 +28,7 @@ __all__ = [
     "bar_chart",
     "breakdown_table",
     "comparison_table",
+    "latency_table",
     "performance_bars",
     "performance_table",
     "reliability_table",

@@ -100,37 +100,90 @@ def reliability_table(result: BenchmarkResult) -> str:
             + render_table(["metric"] + labels, rows))
 
 
+def latency_table(result) -> str:
+    """Tail-latency report of an open-loop service result.
+
+    Duck-typed on ``result.latency_summary()`` (see
+    ``repro.traffic.ServiceResult``): per-series count/mean/p50/p95/p99/
+    max plus the rate block (offered, throughput, goodput, drop rate,
+    SLO attainment).  Empty string when the result has no latency data —
+    closed-loop results simply omit this section.
+    """
+    summarize = getattr(result, "latency_summary", None)
+    if summarize is None:
+        return ""
+    data = summarize()
+    percentiles = sorted(
+        float(key[1:]) for key in next(iter(data["series"].values()), {})
+        if key.startswith("p"))
+    rows = []
+    for label, series in data["series"].items():
+        if not series.get("count"):
+            continue
+        rows.append([label, f"{int(series['count'])}",
+                     f"{series['mean']:.1f}"]
+                    + [f"{series[f'p{p:g}']:.1f}" for p in percentiles]
+                    + [f"{series['max']:.1f}"])
+    headers = (["series", "count", "mean"]
+               + [f"p{p:g}" for p in percentiles] + ["max"])
+    sections = [f"{result.name}: tail latency",
+                render_table(headers, rows)]
+    rate_rows = [[key, f"{value:.4g}"]
+                 for key, value in data["rates"].items()]
+    if data.get("slo_ms") is not None:
+        rate_rows.append(["SLO (ms)", f"{data['slo_ms']:g}"])
+    if data.get("worst_stream_p99_us") is not None:
+        rate_rows.append(["worst-stream p99 (us)",
+                          f"{data['worst_stream_p99_us']:.1f}"])
+    sections.append(render_table(["rate", "value"], rate_rows))
+    return "\n".join(sections)
+
+
 class Report:
-    """All figure-style renderings of one :class:`BenchmarkResult`.
+    """All figure-style renderings of one result object.
 
     The preferred reporting API: ``result.report().performance()``
     instead of the free functions (which remain as the implementation).
     ``str(report)`` or :meth:`render` concatenates every non-empty
-    section.
+    section.  Works for closed-loop :class:`BenchmarkResult` values
+    (performance/breakdown/...) and open-loop
+    ``repro.traffic.ServiceResult`` values (:meth:`latency`): sections
+    that do not apply to the wrapped result render as empty strings.
     """
 
-    def __init__(self, result: BenchmarkResult):
+    def __init__(self, result):
         self.result = result
+
+    def _has_cases(self) -> bool:
+        return bool(getattr(self.result, "cases", None))
 
     def performance(self) -> str:
         """Normalized time / utilization / traffic per configuration."""
-        return performance_table(self.result)
+        return performance_table(self.result) if self._has_cases() else ""
 
     def breakdown(self) -> str:
         """Busy / cache-stall / idle rows per processor."""
-        return breakdown_table(self.result)
+        return breakdown_table(self.result) if self._has_cases() else ""
 
     def reliability(self) -> str:
         """Fault-injection metrics; empty string on fault-free runs."""
-        return reliability_table(self.result)
+        return reliability_table(self.result) if self._has_cases() else ""
+
+    def latency(self) -> str:
+        """Tail-latency percentiles, goodput, and drop rate (service
+        results — ``repro.serve``); empty for closed-loop results."""
+        return latency_table(self.result)
 
     def bars(self) -> str:
         """The three figure metrics as ASCII bar groups."""
-        return performance_bars(self.result)
+        return performance_bars(self.result) if self._has_cases() else ""
 
     def summary(self) -> dict:
         """Machine-readable figure metrics (per-case dict)."""
-        return self.result.summary()
+        summarize = getattr(self.result, "summary", None)
+        if summarize is None:
+            return {}
+        return summarize()
 
     def timeline(self, case: Optional[str] = None, width: int = 64) -> str:
         """Per-component trace timelines (``repro.run(..., trace=True)``).
@@ -184,7 +237,7 @@ class Report:
     def render(self) -> str:
         """Every non-empty section, blank-line separated."""
         sections = [self.performance(), self.breakdown(),
-                    self.reliability()]
+                    self.reliability(), self.latency()]
         return "\n\n".join(s for s in sections if s)
 
     def __str__(self) -> str:

@@ -81,6 +81,11 @@ class ChannelAdapter:
         self.traffic = TrafficStats()
         #: Reassembled inbound messages awaiting the consumer.
         self.recv_queue: Store = Store(env)
+        #: Optional bounded admission queue (``repro.traffic``): when a
+        #: service layer multiplexes open-loop request streams through
+        #: this adapter, the queue lives here so its shed-load counters
+        #: surface through :meth:`reliability` like any other loss.
+        self.admission = None
         self._tx_link: Optional[Link] = None
         self._rx_link: Optional[Link] = None
         self._partial: Dict[int, list] = {}
@@ -94,6 +99,10 @@ class ChannelAdapter:
         self._rx_link = rx_link
         self.env.process(self._rx_loop(rx_link), name=f"{self.node_id}-rx",
                          daemon=True)
+
+    def attach_admission(self, queue) -> None:
+        """Install a ``repro.traffic.AdmissionQueue`` on this adapter."""
+        self.admission = queue
 
     def _rx_loop(self, rx_link: Link):
         while True:
@@ -144,6 +153,9 @@ class ChannelAdapter:
     def reliability(self) -> Dict[str, int]:
         """Fault/recovery counters of this adapter's two link directions."""
         snapshot: Dict[str, int] = {"send_failures": self.traffic.send_failures}
+        if self.admission is not None:
+            snapshot["admission_offered"] = self.admission.offered
+            snapshot["admission_dropped"] = self.admission.dropped
         for prefix, link in (("tx", self._tx_link), ("rx", self._rx_link)):
             if link is None:
                 continue

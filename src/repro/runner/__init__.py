@@ -23,6 +23,7 @@ Run the whole paper grid from the shell::
 from .api import RunResult, configure, run, run_many
 from .cache import ResultCache, decode_case, default_cache_dir, encode_case
 from .fingerprint import FingerprintError, canonicalize, code_version, fingerprint
+from .options import RunOptions, make_run_options
 from .harness import (
     CASE_LABELS,
     Cell,
@@ -45,6 +46,7 @@ __all__ = [
     "FingerprintError",
     "Progress",
     "ResultCache",
+    "RunOptions",
     "RunResult",
     "RunnerError",
     "canonicalize",
@@ -57,6 +59,7 @@ __all__ = [
     "encode_case",
     "fingerprint",
     "make_progress",
+    "make_run_options",
     "make_spec",
     "paper_grid",
     "register_app",

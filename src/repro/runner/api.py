@@ -26,6 +26,7 @@ from typing import Dict, Optional, Sequence
 
 from ..metrics.results import BenchmarkResult, CaseResult
 from .harness import CASE_LABELS, ExperimentRunner
+from .options import RunOptions, make_run_options
 from .progress import Progress
 from .spec import AppSpec, make_spec
 
@@ -80,6 +81,7 @@ class RunResult(BenchmarkResult):
 
 
 def run(app, cases: Optional[Sequence[str]] = None, *,
+        options: Optional[RunOptions] = None,
         parallel: Optional[int] = None,
         cache=None,
         seed: Optional[int] = None,
@@ -93,6 +95,15 @@ def run(app, cases: Optional[Sequence[str]] = None, *,
         **params) -> RunResult:
     """Run ``app`` through the experiment harness.
 
+    The canonical calling convention is typed (docs/api.md)::
+
+        opts = repro.RunOptions(parallel=4, cache=True, seed=7)
+        result = repro.run("grep", opts)        # or options=opts
+
+    The bare keywords below remain supported as a thin compatibility
+    wrapper — they build the same :class:`RunOptions` internally, and
+    mixing an options object with loose keywords is an error.
+
     Parameters
     ----------
     app:
@@ -104,6 +115,9 @@ def run(app, cases: Optional[Sequence[str]] = None, *,
         run serially and uncached).
     cases:
         Case labels to run; defaults to all four paper configurations.
+        (A :class:`RunOptions` here is treated as ``options``.)
+    options:
+        A :class:`RunOptions` carrying every parameter below.
     parallel, cache, show_progress:
         Override the :func:`configure` defaults for this call.
     seed:
@@ -126,43 +140,60 @@ def run(app, cases: Optional[Sequence[str]] = None, *,
         renders the top entries; the raw paths are in
         ``result.stats["profiles"]``.  Profiling forces serial
         in-process execution and bypasses the cache, like tracing.
+    progress:
+        A live :class:`~repro.runner.Progress` sink (a runtime channel,
+        not configuration — deliberately outside :class:`RunOptions`).
     """
-    parallel = _default("parallel", parallel)
-    cache = _default("cache", cache)
-    show_progress = _default("show_progress", show_progress)
+    opts = make_run_options(
+        options, cases, parallel=parallel, cache=cache, seed=seed,
+        preset=preset, overrides=overrides, name=name,
+        show_progress=show_progress, trace=trace, profile=profile,
+        params=params)
+    return _run_with_options(app, opts, progress=progress)
 
-    if profile:
-        if trace:
-            raise ValueError("profile=True and trace are mutually "
-                             "exclusive; run them separately")
-        return _run_profiled(app, cases=cases, seed=seed, name=name,
-                             preset=preset, overrides=overrides,
-                             params=params)
 
-    if trace:
-        return _run_traced(app, cases=cases, seed=seed, name=name,
-                           preset=preset, overrides=overrides,
-                           params=params, trace=trace)
+def _run_with_options(app, opts: RunOptions,
+                      progress: Optional[Progress] = None) -> RunResult:
+    """The typed execution path every ``run()`` call goes through."""
+    parallel = _default("parallel", opts.parallel)
+    cache = _default("cache", opts.cache)
+    show_progress = _default("show_progress", opts.show_progress)
+    params = dict(opts.params)
+    overrides = dict(opts.overrides) or None
+
+    if opts.profile:
+        return _run_profiled(app, cases=opts.cases, seed=opts.seed,
+                             name=opts.name, preset=opts.preset,
+                             overrides=overrides, params=params)
+
+    if opts.trace:
+        return _run_traced(app, cases=opts.cases, seed=opts.seed,
+                           name=opts.name, preset=opts.preset,
+                           overrides=overrides, params=params,
+                           trace=opts.trace)
 
     if callable(app) and not isinstance(app, type):
-        if params or preset or overrides:
+        if params or opts.preset or overrides:
             raise TypeError(
                 "factory callables take no spec parameters; pass a "
                 "registered name or application class instead")
-        return _run_factory(app, cases=cases, seed=seed, name=name)
+        return _run_factory(app, cases=opts.cases, seed=opts.seed,
+                            name=opts.name)
 
-    spec = make_spec(app, preset=preset, overrides=overrides, **params)
+    spec = make_spec(app, preset=opts.preset, overrides=overrides, **params)
     runner = ExperimentRunner(
         parallel=parallel, cache=cache, progress=progress,
         show_progress=show_progress,
         start_method=_DEFAULTS["start_method"])  # type: ignore[arg-type]
-    result = runner.run_app(spec, cases=cases, seed=seed, name=name)
+    result = runner.run_app(spec, cases=opts.cases, seed=opts.seed,
+                            name=opts.name)
     cache = runner.cache  # may be empty, hence len()==0 and falsy
     stats = {
         "parallel": runner.parallel,
         "cache_dir": str(cache.root) if cache is not None else None,
         "cache_hits": cache.hits if cache is not None else 0,
         "spec": spec,
+        "options": opts,
     }
     return RunResult.from_benchmark(result, stats)
 

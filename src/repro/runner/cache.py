@@ -124,6 +124,48 @@ class ResultCache:
             raise
         return path
 
+    def get_json(self, key: str) -> Optional[dict]:
+        """A generic JSON payload for ``key``, or ``None`` on a miss.
+
+        The service-layer analogue of :meth:`get`: entries written by
+        :meth:`put_json` hold one JSON-safe dict (e.g. an encoded
+        ``repro.traffic.ServiceResult``) instead of a CaseResult.
+        Floats round-trip exactly (``repr`` codec), so restored payloads
+        are bit-identical to what the simulation produced.
+        """
+        path = self._path(key)
+        try:
+            entry = json.loads(path.read_text())
+        except (OSError, ValueError):
+            self.misses += 1
+            return None
+        if entry.get("format") != CACHE_FORMAT or "payload" not in entry:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return entry["payload"]
+
+    def put_json(self, key: str, payload: dict,
+                 meta: Optional[Dict[str, object]] = None) -> Path:
+        """Store a JSON-safe ``payload`` dict under ``key`` atomically."""
+        path = self._path(key)
+        entry = {"format": CACHE_FORMAT, "payload": payload,
+                 "meta": dict(meta or {})}
+        handle = tempfile.NamedTemporaryFile(
+            "w", dir=str(self.root), prefix=".tmp-", suffix=".json",
+            delete=False)
+        try:
+            with handle:
+                json.dump(entry, handle, sort_keys=True)
+            os.replace(handle.name, path)
+        except BaseException:
+            try:
+                os.unlink(handle.name)
+            except OSError:
+                pass
+            raise
+        return path
+
     def __len__(self) -> int:
         return sum(1 for _ in self.root.glob("*.json"))
 

@@ -1,12 +1,18 @@
-"""Event tracing for simulation runs.
+"""Event tracing for simulation runs (deprecated).
+
+.. deprecated::
+    :class:`Tracer` is superseded by :mod:`repro.obs` — attach a
+    :class:`~repro.obs.TraceCollector` via ``repro.run(..., trace=True)``
+    or ``System.attach_trace`` for structured spans/instants with
+    Chrome ``trace_event`` export.  The class is kept as a
+    warn-on-construction shim for code that still passes an explicit
+    ``tracer=`` to :class:`~repro.switch.ActiveSwitch`; no internal
+    component records through it by default anymore.
 
 A :class:`Tracer` collects timestamped records from instrumented
 components — handler dispatches, block arrivals, buffer churn — without
 perturbing timing.  Components call :meth:`Tracer.record`; analysis
 code filters and summarises afterwards.
-
-This is opt-in: nothing traces by default, and a disabled tracer's
-``record`` is a no-op, so hot paths can call it unconditionally.
 
 Example::
 
@@ -19,6 +25,7 @@ Example::
 
 from __future__ import annotations
 
+import warnings
 from collections import Counter
 from dataclasses import dataclass
 from typing import Any, Dict, List, Optional
@@ -43,9 +50,20 @@ class TraceRecord:
 
 
 class Tracer:
-    """Collects trace records; can be disabled to become free."""
+    """Collects trace records; can be disabled to become free.
 
-    def __init__(self, enabled: bool = True, capacity: Optional[int] = None):
+    .. deprecated:: use :class:`repro.obs.TraceCollector` (see module
+       docstring).  Constructing one emits a :class:`DeprecationWarning`.
+    """
+
+    def __init__(self, enabled: bool = True, capacity: Optional[int] = None,
+                 *, _warn: bool = True):
+        if _warn:
+            warnings.warn(
+                "repro.sim.Tracer is deprecated; use repro.obs."
+                "TraceCollector (repro.run(..., trace=True) or "
+                "System.attach_trace) instead",
+                DeprecationWarning, stacklevel=2)
         if capacity is not None and capacity <= 0:
             raise ValueError("capacity must be positive when given")
         self.enabled = enabled
@@ -109,4 +127,5 @@ class Tracer:
 
 #: A process-wide tracer components may share when no explicit tracer is
 #: wired through; disabled by default so production runs pay nothing.
-GLOBAL_TRACER = Tracer(enabled=False)
+#: Deprecated along with the class — nothing internal reads it anymore.
+GLOBAL_TRACER = Tracer(enabled=False, _warn=False)

@@ -27,7 +27,7 @@ from ..cpu.switch_cpu import SwitchCPU
 from ..faults.injector import HandlerCrashError
 from ..net.packet import MTU, Message, Packet
 from ..sim.core import Environment
-from ..sim.trace import GLOBAL_TRACER, Tracer
+from ..sim.trace import Tracer
 from ..sim.units import transfer_ps
 from .atb import AddressTranslationBuffer
 from .base import BaseSwitch, SwitchConfig
@@ -87,7 +87,9 @@ class ActiveSwitch(BaseSwitch):
                  tracer: Optional[Tracer] = None):
         super().__init__(env, name, config)
         self.active_config = active_config
-        self.tracer = tracer if tracer is not None else GLOBAL_TRACER
+        # Legacy freeform tracer: only records when explicitly wired in.
+        # The supported path is the env-attached repro.obs collector.
+        self.tracer = tracer
         from ..sim.units import Clock
         self.cpus: List[SwitchCPU] = [
             SwitchCPU(env, cpu_id=i, name=f"{name}-cpu",
@@ -265,9 +267,10 @@ class ActiveSwitch(BaseSwitch):
         message: Message = meta["message"]
         message_id = meta["message_id"]
         self.degradation.contained_crashes += 1
-        self.tracer.record(self.env.now, "handler-crash", switch=self.name,
-                           handler_id=handler_id, cpu=cpu.cpu_id,
-                           error=type(exc).__name__)
+        if self.tracer is not None:
+            self.tracer.record(self.env.now, "handler-crash",
+                               switch=self.name, handler_id=handler_id,
+                               cpu=cpu.cpu_id, error=type(exc).__name__)
         trace = self.env.trace
         if trace is not None:
             trace.instant(self.name, "switch.crash", self.env.now,
@@ -326,9 +329,10 @@ class ActiveSwitch(BaseSwitch):
         """
         self._quarantined[handler_id] = self.env.now
         self.degradation.quarantined_handlers += 1
-        self.tracer.record(self.env.now, "quarantine", switch=self.name,
-                           handler_id=handler_id,
-                           crashes=self._handler_health[handler_id])
+        if self.tracer is not None:
+            self.tracer.record(self.env.now, "quarantine", switch=self.name,
+                               handler_id=handler_id,
+                               crashes=self._handler_health[handler_id])
         trace = self.env.trace
         if trace is not None:
             trace.instant(self.name, "switch.quarantine", self.env.now,
@@ -424,7 +428,7 @@ class ActiveSwitch(BaseSwitch):
                         self.name, handler_id, invocation)
             # Header to the dispatch unit, in parallel with the copy.
             cpu = self.scheduler.pick(packet.active.cpu_id)
-            if self.tracer.enabled:
+            if self.tracer is not None and self.tracer.enabled:
                 self.tracer.record(self.env.now, "dispatch",
                                    switch=self.name,
                                    handler_id=handler_id,

@@ -1,0 +1,144 @@
+"""Offered-load sweeps: saturation knees and max sustainable RPS.
+
+An open-loop configuration is characterized by sweeping the offered
+rate and watching where the latency/goodput curve breaks: below the
+knee, goodput tracks offered load and p99 stays near the unloaded
+service time; past it, queues (or drops) absorb the excess and the tail
+explodes.  :func:`sweep_offered_load` runs one :class:`ServiceSpec`
+across a rate grid — serially, through a process pool, or against the
+result cache, all bit-identically — and :meth:`ServiceSweep.knee`
+reports the largest offered rate the configuration sustains under a
+declared SLO.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..metrics.report import render_table
+from .service import ServiceResult, ServiceSpec, _simulate, serve, service_key
+
+#: Goodput must stay within this fraction of offered load to count as
+#: "sustained" when no explicit SLO is declared.
+GOODPUT_TOLERANCE = 0.95
+
+
+def _sweep_worker(spec: ServiceSpec) -> Dict[str, object]:
+    """Pool entry point: run one rate point, return the encoded result."""
+    return _simulate(spec).to_dict()
+
+
+@dataclass
+class ServiceSweep:
+    """Results of one offered-load sweep, ordered by offered rate."""
+
+    spec: ServiceSpec
+    results: List[ServiceResult] = field(default_factory=list)
+
+    def rates(self) -> List[float]:
+        return [result.rate_rps for result in self.results]
+
+    def knee(self, slo_ms: Optional[float] = None,
+             max_drop_rate: float = 0.01) -> Dict[str, Optional[float]]:
+        """Locate the saturation knee under an SLO.
+
+        A rate point is *sustained* when its drop rate stays under
+        ``max_drop_rate``, its goodput keeps up with the offered load
+        (within :data:`GOODPUT_TOLERANCE`), and — when an SLO is
+        declared (argument, or the spec's own ``slo_ms``) — aggregate
+        p99 latency stays under it.  Returns the largest sustained
+        offered rate (``max_sustainable_rps``), its goodput and p99,
+        and the first unsustained rate (``knee_rps``; ``None`` when the
+        whole sweep held).
+        """
+        slo = self.spec.slo_ms if slo_ms is None else slo_ms
+        best: Optional[ServiceResult] = None
+        knee_rps: Optional[float] = None
+        for result in sorted(self.results, key=lambda r: r.rate_rps):
+            sustained = (result.drop_rate <= max_drop_rate
+                         and result.completed == result.admitted
+                         and result.goodput_rps
+                         >= GOODPUT_TOLERANCE * result.offered_rps)
+            if sustained and slo is not None:
+                p99 = result.latency_us.get("p99")
+                sustained = p99 is not None and p99 <= slo * 1000.0
+            if sustained:
+                best = result
+            elif knee_rps is None:
+                knee_rps = result.rate_rps
+        return {
+            "slo_ms": slo,
+            "max_sustainable_rps": best.rate_rps if best else None,
+            "goodput_rps": best.goodput_rps if best else None,
+            "p99_us": best.latency_us.get("p99") if best else None,
+            "knee_rps": knee_rps,
+        }
+
+    def table(self) -> str:
+        """One aligned row per rate point (for EXPERIMENTS.md)."""
+        rows = []
+        for result in sorted(self.results, key=lambda r: r.rate_rps):
+            rows.append([
+                f"{result.rate_rps:g}",
+                f"{result.offered_rps:.0f}",
+                f"{result.goodput_rps:.0f}",
+                f"{result.drop_rate:.3f}",
+                f"{result.latency_us.get('p50', 0.0):.1f}",
+                f"{result.latency_us.get('p95', 0.0):.1f}",
+                f"{result.latency_us.get('p99', 0.0):.1f}",
+            ])
+        return (f"{self.spec.label}: offered-load sweep\n"
+                + render_table(
+                    ["rate", "offered", "goodput", "drop", "p50us",
+                     "p95us", "p99us"], rows))
+
+
+def sweep_offered_load(spec: ServiceSpec, rates: Sequence[float], *,
+                       parallel: int = 1, cache=None,
+                       start_method: Optional[str] = None) -> ServiceSweep:
+    """Run ``spec`` at each offered rate in ``rates``.
+
+    ``parallel > 1`` fans the rate points across a spawn-started
+    process pool; ``cache`` reuses/persists per-point results keyed by
+    spec content + code version.  All three paths (serial, pool,
+    cache-restored) produce field-identical results — the pool ships
+    frozen specs out and lossless result dicts back, and the cache
+    codec round-trips floats exactly.
+    """
+    if parallel < 1:
+        raise ValueError(f"parallel must be >= 1, got {parallel}")
+    points = [spec.at_rate(rate) for rate in rates]
+    results: List[Optional[ServiceResult]] = [None] * len(points)
+
+    from ..runner.harness import ExperimentRunner
+    store = ExperimentRunner._resolve_cache(cache)
+    pending = []
+    for index, point in enumerate(points):
+        payload = store.get_json(service_key(point)) if store is not None \
+            else None
+        if payload is not None:
+            results[index] = ServiceResult.from_dict(payload)
+        else:
+            pending.append(index)
+
+    if pending and parallel > 1 and len(pending) > 1:
+        from ..runner.harness import START_METHOD_ENV
+        method = (start_method
+                  or os.environ.get(START_METHOD_ENV, "spawn"))
+        context = multiprocessing.get_context(method)
+        with context.Pool(processes=min(parallel, len(pending))) as pool:
+            payloads = pool.map(_sweep_worker,
+                                [points[i] for i in pending], chunksize=1)
+        for index, payload in zip(pending, payloads):
+            results[index] = ServiceResult.from_dict(payload)
+            if store is not None:
+                store.put_json(service_key(points[index]), payload,
+                               meta={"label": points[index].label})
+    else:
+        for index in pending:
+            results[index] = serve(points[index], cache=store)
+
+    return ServiceSweep(spec=spec, results=list(results))

@@ -58,7 +58,7 @@ def test_get_preset_by_name():
 def test_registry_complete():
     assert set(PRESETS) == {"paper_2003", "fast_fabric", "fast_storage",
                             "fast_switch_cpu", "balanced_2006", "chaos_2003",
-                            "failstop_2003"}
+                            "failstop_2003", "service_2003"}
 
 
 def test_presets_build_working_systems():

@@ -23,6 +23,7 @@ EXPECTED_IDS = {
     "ext_multiprogramming",
     "ext_fabric_scale",
     "ext_fabric_availability",
+    "ext_service_slo",
 }
 
 

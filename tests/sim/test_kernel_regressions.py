@@ -196,6 +196,8 @@ def test_time_weighted_mean_still_extrapolates_forward():
 # ----------------------------------------------------------------------
 # 5. Tracer drop policy
 # ----------------------------------------------------------------------
+@pytest.mark.filterwarnings(
+    "ignore:repro.sim.Tracer is deprecated:DeprecationWarning")
 def test_tracer_drops_newest_and_counts_them():
     tracer = Tracer(capacity=2)
     tracer.record(0, "first")

@@ -1,10 +1,18 @@
-"""Unit tests for the event tracer."""
+"""Unit tests for the (deprecated) legacy event tracer.
+
+The class still works when explicitly wired in — these tests pin that —
+but constructing one warns; tests/test_deprecations.py covers the
+warning itself, so it is silenced here.
+"""
 
 import pytest
 
 from repro.net import ActiveHeader, ChannelAdapter, Link, Message
 from repro.sim import Environment, Tracer
 from repro.switch import ActiveSwitch
+
+pytestmark = pytest.mark.filterwarnings(
+    "ignore:repro.sim.Tracer is deprecated:DeprecationWarning")
 
 
 def test_record_and_select():
@@ -110,7 +118,9 @@ def test_active_switch_traces_dispatches():
     assert all(r.get("switch") == "sw0" for r in dispatches)
 
 
-def test_switch_without_tracer_uses_disabled_global():
+def test_switch_without_tracer_has_none():
+    # The legacy global-tracer default is gone: an unwired switch holds
+    # no tracer at all, and the guarded record sites stay silent.
     env = Environment()
     switch = ActiveSwitch(env, "sw0")
-    assert not switch.tracer.enabled
+    assert switch.tracer is None

@@ -1,0 +1,51 @@
+"""Every warn-and-forward shim emits exactly one DeprecationWarning.
+
+The deprecated surface — ``repro.sim.Tracer`` (superseded by
+``repro.obs``), ``repro.cluster.four_cases`` and
+``repro.apps.run_four_cases`` (superseded by ``repro.run``) — must stay
+usable, must warn, and must warn exactly once per call, so callers see
+the migration pointer without their logs drowning in repeats.
+"""
+
+import warnings
+
+from repro.apps import GrepApp, run_four_cases
+from repro.cluster import ClusterConfig, four_cases
+from repro.sim import Tracer
+
+
+def _deprecations(caught):
+    return [w for w in caught if issubclass(w.category, DeprecationWarning)]
+
+
+def test_tracer_warns_exactly_once():
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        tracer = Tracer()
+    warned = _deprecations(caught)
+    assert len(warned) == 1
+    assert "repro.obs" in str(warned[0].message)
+    # Still functional after the warning.
+    tracer.record(1, "kind", cpu=0)
+    assert tracer.count("kind") == 1
+
+
+def test_four_cases_warns_exactly_once():
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        cases = four_cases(ClusterConfig())
+    warned = _deprecations(caught)
+    assert len(warned) == 1
+    assert "four_cases" in str(warned[0].message)
+    assert len(cases) == 4
+
+
+def test_run_four_cases_warns_exactly_once():
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        result = run_four_cases(lambda: GrepApp(scale=0.02))
+    warned = [w for w in _deprecations(caught)
+              if "run_four_cases" in str(w.message)]
+    assert len(warned) == 1
+    assert set(result.cases) == {"normal", "normal+pref",
+                                 "active", "active+pref"}

@@ -24,7 +24,8 @@ LINKED_DOCS = sorted(
 
 EXECUTABLE_DOCS = [REPO / "docs" / "tutorial.md",
                    REPO / "docs" / "observability.md",
-                   REPO / "docs" / "topologies.md"]
+                   REPO / "docs" / "topologies.md",
+                   REPO / "docs" / "traffic.md"]
 
 _LINK = re.compile(r"\[[^\]]+\]\(([^)#\s]+)(?:#[^)\s]*)?\)")
 _FENCE = re.compile(r"```python\n(.*?)```", re.DOTALL)
