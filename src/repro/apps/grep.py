@@ -22,10 +22,16 @@ Cost model (cycles per unit, single-issue MIPS-like):
 
 from __future__ import annotations
 
+from bisect import bisect_right
 from typing import List, Tuple
 
 from ..workloads import text
 from .base import BlockWork, StreamApp
+
+try:
+    import numpy as _np
+except ImportError:  # pragma: no cover - numpy ships with the toolchain
+    _np = None
 
 #: Host cycles per scanned byte (DFA transition loop).
 HOST_SEARCH_CYCLES_PER_BYTE = 2.5
@@ -102,23 +108,50 @@ class GrepApp(StreamApp):
         data = text.generate_text(total_bytes=total, pattern=self.pattern,
                                   match_lines=match_lines)
         self.data = data
-        matcher = LiteralMatcher(self.pattern.encode("ascii"))
+        needle = self.pattern.encode("ascii")
+
+        # Feeding the KMP automaton chunk-by-chunk with carried state is
+        # equivalent to one scan of the whole file, so find every
+        # (overlapping) occurrence once at C speed and bucket the match
+        # end offsets into I/O blocks — a match ending exactly on a
+        # block boundary belongs to the earlier block, exactly as the
+        # streaming automaton reports it.  LiteralMatcher remains the
+        # definitional oracle (tests/apps/test_vectorized_kernels.py).
+        all_ends: List[int] = []
+        pos = data.find(needle)
+        while pos != -1:
+            all_ends.append(pos + len(needle))
+            pos = data.find(needle, pos + 1)
+        if _np is not None:
+            boundaries = _np.arange(self.request_bytes,
+                                    len(data) + self.request_bytes,
+                                    self.request_bytes)
+            per_block_matches = _np.diff(_np.searchsorted(
+                _np.asarray(all_ends, dtype=_np.int64),
+                boundaries, side="right"), prepend=0).tolist()
+        else:
+            cuts = [bisect_right(all_ends, hi)
+                    for hi in range(self.request_bytes,
+                                    len(data) + self.request_bytes,
+                                    self.request_bytes)]
+            per_block_matches = [hi - lo
+                                 for lo, hi in zip([0] + cuts[:-1], cuts)]
 
         self.total_matches = 0
         self.total_match_bytes = 0
-        state = 0
         line_carry = b""
         offset = 0
+        block_index = 0
         input_cursor = [_INPUT_BASE]
         while offset < len(data):
             chunk = data[offset:offset + self.request_bytes]
-            state, ends = matcher.feed(chunk, state)
-            # Reconstruct the matching lines exactly as a streaming
-            # handler would: the current line may have begun in the
-            # previous chunk (line_carry).
+            # The current line may have begun in the previous chunk
+            # (line_carry) — matching-line bytes are reconstructed
+            # exactly as a streaming handler would emit them.
             stream_chunk = line_carry + chunk
             match_bytes = 0
-            matches_here = len(ends)
+            matches_here = per_block_matches[block_index]
+            block_index += 1
             if matches_here:
                 lines = stream_chunk.split(b"\n")
                 needle = self.pattern.encode("ascii")

@@ -24,6 +24,11 @@ from __future__ import annotations
 from ..workloads import records
 from .base import BlockWork, StreamApp
 
+try:
+    import numpy as _np
+except ImportError:  # pragma: no cover - numpy ships with the toolchain
+    _np = None
+
 #: Host cycles to evaluate the predicate on one record.
 HOST_COMPARE_CYCLES = 8
 #: Switch handler cycles per record (same compare, MIPS-like core).
@@ -67,10 +72,17 @@ class SelectApp(StreamApp):
         self.total_matches = 0
         per_block = records.records_per_block(self.request_bytes)
         cursor = _INPUT_BASE
+        if _np is not None:
+            all_keys = _np.asarray(table.keys, dtype=_np.int64)
+            in_range = ((all_keys >= records.SELECT_LOW)
+                        & (all_keys < records.SELECT_HIGH))
         for start in range(0, table.num_records, per_block):
             keys = table.keys[start:start + per_block]
-            matches = sum(1 for k in keys
-                          if records.SELECT_LOW <= k < records.SELECT_HIGH)
+            if _np is not None:
+                matches = int(in_range[start:start + per_block].sum())
+            else:
+                matches = sum(1 for k in keys
+                              if records.SELECT_LOW <= k < records.SELECT_HIGH)
             self.total_matches += matches
             nbytes = len(keys) * records.RECORD_BYTES
             base = cursor

@@ -26,11 +26,52 @@ from ..metrics.results import CaseResult
 from ..workloads import datamation
 from .base import finalize_case
 
+try:
+    import numpy as _np
+except ImportError:  # pragma: no cover - numpy ships with the toolchain
+    _np = None
+
 HOST_DISTRIBUTE_CYCLES_PER_RECORD = 35
 SWITCH_ROUTE_CYCLES_PER_RECORD = 14
 
 _INPUT_BASE = 0x2000_0000
 _SENDBUF_BASE = 0x6000_0000
+
+
+def _block_owner_counts(keys: List[bytes], per_block: int,
+                        num_nodes: int) -> List[List[int]]:
+    """Per-block destination counts: ``owner = (key * p) >> 80``.
+
+    The numpy path computes the 80-bit key x node product exactly in
+    uint64 lanes — key = hi·2^48 + mid·2^16 + low (32/32/16-bit limbs),
+    so ``(key·p) >> 80 = (hi·p + ((mid·p·2^16 + low·p) >> 48)) >> 32``
+    with every intermediate < 2^64 for any realistic node count.  The
+    scalar fallback is the definitional big-int loop; both produce the
+    same integers (tests/apps/test_vectorized_kernels.py).
+    """
+    key_space_bits = 8 * datamation.KEY_BYTES
+    if _np is not None and num_nodes <= 4096:
+        words = _np.frombuffer(b"".join(keys), dtype=">u2")
+        words = words.reshape(-1, datamation.KEY_BYTES // 2)
+        words = words.astype(_np.uint64)
+        p = _np.uint64(num_nodes)
+        hi = (words[:, 0] << _np.uint64(16)) | words[:, 1]
+        mid = (words[:, 2] << _np.uint64(16)) | words[:, 3]
+        low = words[:, 4]
+        tail = ((mid * p) << _np.uint64(16)) + low * p
+        owners = (hi * p + (tail >> _np.uint64(48))) >> _np.uint64(32)
+        return [_np.bincount(owners[start:start + per_block],
+                             minlength=num_nodes).tolist()
+                for start in range(0, len(owners), per_block)]
+    blocks = []
+    for start in range(0, len(keys), per_block):
+        counts = [0] * num_nodes
+        for key in keys[start:start + per_block]:
+            owner = (int.from_bytes(key, "big")
+                     * num_nodes) >> key_space_bits
+            counts[owner] += 1
+        blocks.append(counts)
+    return blocks
 
 
 class SortApp:
@@ -56,22 +97,13 @@ class SortApp:
         # Per source node: per-block destination counts.  Uniform keys
         # partition by high bits: node = key * p / keyspace (equivalent
         # to datamation.assign_node, vectorised for speed).
-        key_space_bits = 8 * datamation.KEY_BYTES
         per_block_records = self.request_bytes // datamation.RECORD_BYTES
         self.node_blocks: List[List[List[int]]] = []
         for node in range(num_nodes):
             keys = datamation.generate_keys(self.records_per_node,
                                             seed=17 + node)
-            blocks = []
-            for start in range(0, len(keys), per_block_records):
-                chunk = keys[start:start + per_block_records]
-                counts = [0] * num_nodes
-                for key in chunk:
-                    owner = (int.from_bytes(key, "big")
-                             * num_nodes) >> key_space_bits
-                    counts[owner] += 1
-                blocks.append(counts)
-            self.node_blocks.append(blocks)
+            self.node_blocks.append(_block_owner_counts(
+                keys, per_block_records, num_nodes))
 
     def cluster_config(self) -> ClusterConfig:
         return ClusterConfig(num_hosts=self.num_nodes,
@@ -119,7 +151,8 @@ class SortApp:
             nrecords = sum(counts)
             yield from system.process_on_switch(
                 nrecords * SWITCH_ROUTE_CYCLES_PER_RECORD, 0,
-                arrival_end_event=arrival.end_event)
+                arrival_end_event=arrival.end_event,
+                arrival_end_ps=arrival.end_ps)
             for dst, count in enumerate(counts):
                 if count == 0:
                     continue

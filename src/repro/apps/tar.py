@@ -31,6 +31,11 @@ from ..metrics.results import CaseResult
 from ..workloads import files
 from .base import finalize_case
 
+try:
+    import numpy as _np
+except ImportError:  # pragma: no cover - numpy ships with the toolchain
+    _np = None
+
 TAR_BLOCK = 512
 HEADER_FORMAT_CYCLES = 3000
 HOST_COPY_CYCLES_PER_BYTE = 0.5
@@ -131,24 +136,33 @@ class TarApp:
                             request_bytes=self.request_bytes, depth=depth,
                             to_switch=False, request_cost="os")
         # Header generation is interleaved with the data stream; charge
-        # it against the block containing each file's start.
+        # it against the block containing each file's start: the number
+        # of headers in block b is the number of file starts below that
+        # block's end offset, so one vectorised searchsorted over the
+        # cumulative block ends replaces the per-file scan.
         file_starts = []
         offset = 0
         for spec in self.files:
             file_starts.append(offset)
             offset += spec.size
+        block_ends = [min((b + 1) * self.request_bytes, self.total_input)
+                      for b in range(stream.num_blocks)]
+        if _np is not None:
+            cumulative = _np.searchsorted(
+                _np.asarray(file_starts, dtype=_np.int64),
+                _np.asarray(block_ends, dtype=_np.int64), side="left")
+            header_counts = _np.diff(cumulative, prepend=0).tolist()
+        else:
+            from bisect import bisect_left
+            cuts = [bisect_left(file_starts, end) for end in block_ends]
+            header_counts = [hi - lo
+                             for lo, hi in zip([0] + cuts[:-1], cuts)]
         cursor_in = _INPUT_BASE
         cursor_out = _OUTPUT_BASE
-        block_start = 0
-        file_index = 0
-        for _ in range(stream.num_blocks):
+        for block_index in range(stream.num_blocks):
             arrival = yield from stream.next_block()
             yield from stream.consume_fully(arrival)
-            headers_here = 0
-            while (file_index < len(self.files)
-                   and file_starts[file_index] < block_start + arrival.nbytes):
-                headers_here += 1
-                file_index += 1
+            headers_here = header_counts[block_index]
             copy_stall = host.hierarchy.load_range(cursor_in, arrival.nbytes)
             copy_stall += host.hierarchy.store_range(cursor_out, arrival.nbytes)
             cursor_in += arrival.nbytes
@@ -159,7 +173,6 @@ class TarApp:
                 copy_stall)
             out_bytes = arrival.nbytes + headers_here * TAR_BLOCK
             yield from system.host_to_host_bulk(host, remote, out_bytes)
-            block_start += arrival.nbytes
             yield from stream.done_with(arrival)
 
     def run_active(self, system: System, depth: int):
@@ -187,7 +200,8 @@ class TarApp:
                 arrival = yield from stream.next_block()
                 yield from system.process_on_switch(
                     SWITCH_REDIRECT_CYCLES_PER_BLOCK, 0,
-                    arrival_end_event=arrival.end_event)
+                    arrival_end_event=arrival.end_event,
+                    arrival_end_ps=arrival.end_ps)
                 yield from system.switch_to_remote_bulk(remote.name,
                                                         arrival.nbytes)
                 remote.hca.account_bulk_in(arrival.nbytes)

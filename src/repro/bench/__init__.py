@@ -61,6 +61,13 @@ QUICK_SCALE = 0.25
 #: predate the harness.
 FIRST_BENCH_ID = 5
 
+#: Best-of-N repeats for the service cells.  The simulation is
+#: deterministic — repeats measure the same run — so the minimum is the
+#: least-noisy wall-clock estimate, and the cells are small enough that
+#: five runs stay cheap.  (The grid cells don't repeat: their walls are
+#: an order of magnitude larger, so runner noise matters less.)
+SERVICE_REPEATS = 5
+
 _BENCH_RE = re.compile(r"^BENCH_(\d+)\.json$")
 
 
@@ -164,6 +171,119 @@ def run_bench(specs: Sequence[AppSpec],
 
 
 # ----------------------------------------------------------------------
+# Open-loop service / fabric cells (burst fast path)
+# ----------------------------------------------------------------------
+def service_grid():
+    """The open-loop traffic cells the bench times (PR 9 onward).
+
+    One single-switch serving cell plus two fat-tree fabric cells —
+    the configurations the burst engine (docs/scaling.md) exists for:
+    event-dominated request pipelines at rates the per-block path
+    cannot sustain.  Active-case and just under saturation (~3000 rps
+    against a ~3800 rps ceiling) so every request exercises the whole
+    post/storage/handler/downlink pipeline and the cells measure
+    transport/dispatch throughput, not the memory hierarchy (the
+    standard grid already covers that) and not drop processing; one
+    simulated second keeps the wall-clock large enough to time stably.
+    """
+    from ..traffic.service import ServiceSpec
+
+    return (
+        ServiceSpec(app="grep", case="active", topology="single",
+                    rate_rps=3000.0, duration_s=1.0),
+        ServiceSpec(app="grep", case="active", topology="fat_tree",
+                    hosts=16, rate_rps=3000.0, duration_s=1.0),
+        ServiceSpec(app="grep", case="active", topology="fat_tree",
+                    hosts=64, rate_rps=3000.0, duration_s=1.0),
+    )
+
+
+def service_cell_key(spec) -> str:
+    """Snapshot key of one service cell.
+
+    The spec label omits the fabric size, and two fat-tree cells at
+    different host counts must not share a key.
+    """
+    key = f"serve:{spec.label}"
+    if spec.topology != "single":
+        key += f" hosts={spec.hosts}"
+    return key
+
+
+def run_service_bench(specs=None, progress=None,
+                      repeats: int = SERVICE_REPEATS) -> dict:
+    """Time the service cells on both simulator paths.
+
+    Mirrors :func:`run_bench`'s methodology: the app/workload build is
+    the separately-timed ``prepare_s``; ``wall_s`` covers exactly one
+    ``_simulate`` call on the (default) burst path.  Each cell also
+    runs the per-block reference path — the pre-burst simulator these
+    cells were infeasible on — records it as ``perblock_wall_s`` /
+    ``speedup_vs_perblock``, and *verifies the two paths' results are
+    identical* before reporting, so every committed snapshot re-proves
+    the equivalence it is advertising.
+    """
+    from ..traffic.service import _simulate, build_service_app
+
+    if specs is None:
+        specs = service_grid()
+    cells: Dict[str, dict] = {}
+    apps: Dict[str, dict] = {}
+    saved = {name: os.environ.pop(name, None)
+             for name in ("REPRO_SIM_PERBLOCK", "REPRO_SIM_FLUID")}
+
+    def timed(spec, prebuilt, perblock):
+        if perblock:
+            os.environ["REPRO_SIM_PERBLOCK"] = "1"
+        else:
+            os.environ.pop("REPRO_SIM_PERBLOCK", None)
+        import gc
+
+        best, result = None, None
+        for _ in range(max(repeats, 1)):
+            gc.collect()  # don't bill one rep for another's garbage
+            t0 = time.perf_counter()
+            result = _simulate(spec, prebuilt=prebuilt)
+            wall = time.perf_counter() - t0
+            best = wall if best is None else min(best, wall)
+        return best, result
+
+    try:
+        for spec in specs:
+            key = service_cell_key(spec)
+            t0 = time.perf_counter()
+            prebuilt = build_service_app(spec)
+            prepare_s = time.perf_counter() - t0
+            wall_s, result = timed(spec, prebuilt, perblock=False)
+            perblock_s, reference = timed(spec, prebuilt, perblock=True)
+            if result != reference:  # pragma: no cover - equivalence bug
+                raise RuntimeError(
+                    f"{key}: burst and per-block paths disagree")
+            cells[key] = {
+                "wall_s": round(wall_s, 6),
+                "perblock_wall_s": round(perblock_s, 6),
+                "speedup_vs_perblock": round(perblock_s / wall_s, 4),
+                "requests_completed": result.completed,
+                "requests_dropped": result.dropped,
+                "p99_latency_us": result.latency_us.get("p99"),
+            }
+            apps[key] = {
+                "prepare_s": round(prepare_s, 6),
+                "wall_s": round(wall_s, 6),
+            }
+            if progress is not None:
+                progress(f"{key}: {wall_s:.2f}s burst, {perblock_s:.2f}s "
+                         f"per-block ({perblock_s / wall_s:.1f}x)")
+    finally:
+        for name, value in saved.items():
+            if value is None:
+                os.environ.pop(name, None)
+            else:
+                os.environ[name] = value
+    return {"cells": cells, "apps": apps}
+
+
+# ----------------------------------------------------------------------
 # Snapshot files
 # ----------------------------------------------------------------------
 def make_document(measurements: dict, *, bench_id: int,
@@ -213,12 +333,27 @@ def next_bench_id(directory=".") -> int:
     return max(ids) + 1 if ids else FIRST_BENCH_ID
 
 
-def previous_bench_path(directory=".") -> Optional[str]:
-    """The highest-numbered committed snapshot, if any."""
+def previous_bench_path(directory=".", quick: Optional[bool] = None) -> Optional[str]:
+    """The highest-numbered committed snapshot, if any.
+
+    With ``quick`` given, prefers the newest snapshot of that flavor —
+    a quick run is 0.25x-scale, so its grid cells are not wall-clock
+    comparable with a full run's (see :func:`compare`).  Falls back to
+    the newest snapshot of either flavor when none match.
+    """
     ids = existing_bench_ids(directory)
     if not ids:
         return None
-    return os.path.join(os.fspath(directory), f"BENCH_{ids[-1]}.json")
+    directory = os.fspath(directory)
+    paths = [os.path.join(directory, f"BENCH_{i}.json") for i in ids]
+    if quick is not None:
+        for path in reversed(paths):
+            try:
+                if bool(load(path).get("quick")) == quick:
+                    return path
+            except (ValueError, OSError):  # pragma: no cover - bad file
+                continue
+    return paths[-1]
 
 
 # ----------------------------------------------------------------------
@@ -234,13 +369,27 @@ def compare(current: dict, baseline: dict,
     ``warnings`` lists smaller per-app slowdowns and per-cell noise.
     Only keys present in both snapshots are compared, so a quick run
     checks cleanly against a quick baseline.
+
+    Quick and full snapshots run the grid at different workload scales,
+    so their grid walls are not comparable even where labels match;
+    when the two flavors differ only the scale-independent open-loop
+    ``serve:*`` cells (fixed specs on every flavor) are compared, and a
+    warning records the restriction.
     """
     if threshold < 0:
         raise ValueError(f"threshold must be >= 0, got {threshold}")
     apps: Dict[str, dict] = {}
     regressions: List[str] = []
     warnings: List[str] = []
-    for label in sorted(set(current["apps"]) & set(baseline["apps"])):
+    comparable = lambda label: True
+    if bool(current.get("quick")) != bool(baseline.get("quick")):
+        comparable = lambda label: label.startswith("serve:")
+        warnings.append(
+            "flavor mismatch (quick vs full): grid cells run at "
+            "different workload scales, comparing only serve:* cells")
+    for label in sorted(label for label
+                        in set(current["apps"]) & set(baseline["apps"])
+                        if comparable(label)):
         base_s = baseline["apps"][label]["wall_s"]
         cur_s = current["apps"][label]["wall_s"]
         speedup = base_s / cur_s if cur_s else float("inf")
@@ -257,7 +406,8 @@ def compare(current: dict, baseline: dict,
                 f"{label}: {cur_s:.2f}s vs baseline {base_s:.2f}s "
                 f"(within the {threshold:.0%} noise tolerance)")
     cell_speedups: Dict[str, float] = {}
-    for key in sorted(set(current["cells"]) & set(baseline["cells"])):
+    for key in sorted(k for k in set(current["cells"]) & set(baseline["cells"])
+                      if comparable(k)):
         base_s = baseline["cells"][key]["wall_s"]
         cur_s = current["cells"][key]["wall_s"]
         if cur_s:
@@ -288,8 +438,9 @@ def comparison_table(verdict: dict) -> str:
 
 
 __all__ = [
-    "CACHE_LEVELS", "QUICK_APPS", "QUICK_SCALE",
+    "CACHE_LEVELS", "QUICK_APPS", "QUICK_SCALE", "SERVICE_REPEATS",
     "compare", "comparison_table", "existing_bench_ids", "load",
     "make_document", "next_bench_id", "previous_bench_path",
-    "quick_grid", "run_bench", "save",
+    "quick_grid", "run_bench", "run_service_bench", "save",
+    "service_cell_key", "service_grid",
 ]

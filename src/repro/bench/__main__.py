@@ -15,7 +15,7 @@ import sys
 from ..runner.harness import CASE_LABELS
 from ..runner.spec import DEFAULT_SCALES, make_spec, paper_grid
 from . import (compare, comparison_table, load, make_document, next_bench_id,
-               previous_bench_path, quick_grid, run_bench)
+               previous_bench_path, quick_grid, run_bench, run_service_bench)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -36,6 +36,10 @@ def build_parser() -> argparse.ArgumentParser:
                         help="extra workload scale factor")
     parser.add_argument("--seed", type=int, default=None,
                         help="master seed override for every cell")
+    parser.add_argument("--no-services", action="store_true",
+                        help="skip the open-loop service/fat-tree cells "
+                             "(they always run on grid benches; --apps "
+                             "and --cases selections skip them already)")
     parser.add_argument("--out", default=None, metavar="FILE",
                         help="snapshot path (default: BENCH_<next>.json "
                              "in the current directory)")
@@ -77,14 +81,28 @@ def main(argv=None) -> int:
 
     progress = None if args.quiet else (
         lambda line: print(line, file=sys.stderr))
+    services = None
+    if not (args.no_services or args.apps or args.cases):
+        # The open-loop service + fat-tree fabric cells ride along on
+        # every grid bench (full and --quick) so the burst fast path's
+        # transport/dispatch throughput is tracked snapshot to snapshot.
+        # They run first, before the grid has churned the heap — their
+        # walls are small enough for allocator noise to matter.
+        services = run_service_bench(progress=progress)
     measurements = run_bench(specs, cases=cases, seed=args.seed,
                              progress=progress)
+    if services is not None:
+        measurements["cells"].update(services["cells"])
+        measurements["apps"].update(services["apps"])
     document = make_document(measurements, bench_id=next_bench_id(),
                              quick=args.quick)
 
     baseline_path = args.compare
     if baseline_path is None and not args.no_compare:
-        baseline_path = previous_bench_path()
+        # Prefer a same-flavor baseline: quick and full grids run at
+        # different workload scales, so cross-flavor wall-clocks only
+        # compare on the scale-independent serve:* cells.
+        baseline_path = previous_bench_path(quick=args.quick)
     verdict = None
     if baseline_path is not None and not args.no_compare:
         baseline = load(baseline_path)

@@ -93,5 +93,38 @@ class StorageNode:
         yield from self.disks.write(offset, nbytes)
         self.tca.traffic.bytes_in += nbytes
 
+    # ------------------------------------------------------------------
+    # Burst fast path (see repro.sim.burst)
+    # ------------------------------------------------------------------
+    def serve_read_burst(self, at_ps: int, offset: int, nbytes: int):
+        """Analytic mirror of :meth:`serve_read`: zero kernel events.
+
+        ``at_ps`` is when the request arrives at the TCA; requests must
+        come in nondecreasing ``at_ps`` order (callers issue at real
+        simulated time, so this holds by construction).  Returns
+        ``(started_ps, done_ps)`` — when the first data flows and when
+        the last byte leaves the node — with every TCA/SCSI/disk
+        counter updated exactly as the event-driven path would.
+        """
+        t = at_ps + self.tca.tca_config.request_processing_ps
+        self.tca.requests_processed += 1
+        t += self.scsi.config.transaction_overhead_ps
+        self.scsi.stats.transactions += 1
+        self.scsi.stats.bytes += nbytes
+        started, done = self.disks.read_burst(t, offset, nbytes)
+        self.tca.traffic.bytes_out += nbytes
+        return started, done
+
+    def serve_write_burst(self, at_ps: int, offset: int, nbytes: int):
+        """Analytic mirror of :meth:`serve_write`; returns ``done_ps``."""
+        t = at_ps + self.tca.tca_config.request_processing_ps
+        self.tca.requests_processed += 1
+        t += self.scsi.config.transaction_overhead_ps
+        self.scsi.stats.transactions += 1
+        self.scsi.stats.bytes += nbytes
+        _, done = self.disks.write_burst(t, offset, nbytes)
+        self.tca.traffic.bytes_in += nbytes
+        return done
+
     def __repr__(self) -> str:
         return f"<StorageNode {self.name}>"

@@ -75,6 +75,9 @@ class Disk:
         self.arm = Resource(env, capacity=1, name=f"{name}.arm")
         self.busy = BusyTracker(env)
         self._head_position = -1  # byte offset after the last transfer
+        #: When the arm finishes its last analytically-scheduled request
+        #: (the burst path's stand-in for the ``arm`` Resource queue).
+        self._arm_free_ps = 0
         self._injector = None
         env.add_context_provider(self._failure_context)
 
@@ -160,6 +163,42 @@ class Disk:
                     attempt += 1
             finally:
                 self.busy.exit()
+
+    def access_burst(self, at_ps: int, offset: int, nbytes: int,
+                     write: bool):
+        """Analytic mirror of :meth:`_access` for the fault-free burst
+        path: same arm FIFO, positioning rule, stats, and busy signal,
+        with zero kernel events.
+
+        ``at_ps`` is when the request reaches the arm queue; callers
+        must issue requests in nondecreasing ``at_ps`` order (the burst
+        engine guarantees this — every issuer runs at real simulated
+        time), which makes the scalar free-at state exactly the FIFO
+        ``arm`` Resource.  Returns ``(data_start_ps, done_ps)``: when
+        the head is positioned and data begins to flow, and when the
+        last byte moves.  Never used under a fault plan — transient
+        errors need the event-driven retry loop.
+        """
+        start = at_ps if at_ps > self._arm_free_ps else self._arm_free_ps
+        self.stats.requests += 1
+        if offset == self._head_position:
+            self.stats.sequential_requests += 1
+            data_start = start
+        else:
+            positioning = self.config.seek_ps + self.config.half_rotation_ps
+            self.stats.positioning_ps += positioning
+            data_start = start + positioning
+        transfer = transfer_ps(nbytes, self.config.bandwidth_bytes_per_s)
+        self.stats.transfer_ps_total += transfer
+        if write:
+            self.stats.bytes_written += nbytes
+        else:
+            self.stats.bytes_read += nbytes
+        done = data_start + transfer
+        self._head_position = offset + nbytes
+        self.busy.credit(done - start)
+        self._arm_free_ps = done
+        return data_start, done
 
     def read(self, offset: int, nbytes: int, started=None):
         """Read ``nbytes`` at ``offset``; generator completes when the
@@ -248,6 +287,41 @@ class DiskArray:
                 name=f"{disk.name}-read"))
             remaining -= chunk
         yield self.env.all_of(events)
+
+    def _access_burst(self, at_ps: int, offset: int, nbytes: int,
+                      write: bool):
+        """Shared striped-access math for the burst path."""
+        share = -(-nbytes // len(self.disks))
+        remaining = nbytes
+        started = done = None
+        for index, disk in enumerate(self.disks):
+            chunk = min(share, remaining)
+            if chunk <= 0:
+                break
+            data_start, disk_done = disk.access_burst(
+                at_ps, offset // len(self.disks), chunk, write)
+            if index == 0:
+                started = data_start
+            if done is None or disk_done > done:
+                done = disk_done
+            remaining -= chunk
+        return started, done
+
+    def read_burst(self, at_ps: int, offset: int, nbytes: int):
+        """Analytic striped read (see :meth:`Disk.access_burst`).
+
+        Returns ``(started_ps, done_ps)``: when the first spindle's
+        data begins to flow, and when the last spindle finishes.
+        """
+        if nbytes <= 0:
+            raise ValueError(f"read size must be positive, got {nbytes}")
+        return self._access_burst(at_ps, offset, nbytes, write=False)
+
+    def write_burst(self, at_ps: int, offset: int, nbytes: int):
+        """Analytic striped write; returns ``(started_ps, done_ps)``."""
+        if nbytes <= 0:
+            raise ValueError(f"write size must be positive, got {nbytes}")
+        return self._access_burst(at_ps, offset, nbytes, write=True)
 
     def write(self, offset: int, nbytes: int, started=None):
         """Striped write; completes when every spindle's share is done."""

@@ -112,6 +112,10 @@ class Link:
                                   init=config.credits,
                                   name=f"{name}.credits")
         self._wire = Resource(env, capacity=1, name=f"{name}.wire")
+        #: When the wire finishes its last analytically-reserved bulk
+        #: hold — the burst path's stand-in for queueing on ``_wire``
+        #: (see System._reserve_wires and repro.sim.burst).
+        self.bulk_free_ps = 0
         self.busy = BusyTracker(env)
         #: Credits currently consumed by in-flight packets; every code
         #: path that gets/puts a credit updates this, so conservation is

@@ -86,9 +86,13 @@ def cell_key(cell: Cell) -> str:
     the three parts together fingerprint the full configuration; the
     realized config's own fingerprint is additionally stored in the
     entry metadata by :meth:`ExperimentRunner.run_cells` for auditing.
+    The simulation mode tag (exact vs the opt-in approximate fluid
+    mode, see :mod:`repro.sim.burst`) keeps the two result populations
+    from ever sharing cache entries.
     """
+    from ..sim.burst import sim_mode_tag
     return fingerprint("cell", cell.spec, cell.case, cell.seed,
-                       code_version())
+                       code_version(), sim_mode_tag())
 
 
 def _execute_cell(payload: Tuple[int, Cell]):

@@ -1,0 +1,98 @@
+"""Vectorised kernel accounting == the pure-Python definitional loops.
+
+The burst work (docs/scaling.md) vectorised the per-record cost
+accounting in Select (range counts), Grep (match bucketing), Sort
+(80-bit key partition owners), and Tar (per-block header counts) with
+numpy.  Each module keeps its original loop as the no-numpy fallback;
+these tests run both paths on the same workload and require identical
+results, so the numpy math (including Sort's exact uint64 limb
+arithmetic) is pinned against the definitional version.
+"""
+
+import pytest
+
+np = pytest.importorskip("numpy")
+
+
+def _with_and_without_numpy(module, build):
+    """Build twice — numpy path, then with the module's ``_np`` gone."""
+    original = module._np
+    assert original is not None
+    vectorised = build()
+    try:
+        module._np = None
+        fallback = build()
+    finally:
+        module._np = original
+    return vectorised, fallback
+
+
+def test_select_match_counts():
+    from repro.apps import select as select_mod
+
+    vec, ref = _with_and_without_numpy(
+        select_mod, lambda: select_mod.SelectApp(scale=0.05))
+    assert [b.out_bytes for b in vec.blocks] == \
+        [b.out_bytes for b in ref.blocks]
+    assert [b.host_cycles for b in vec.blocks] == \
+        [b.host_cycles for b in ref.blocks]
+
+
+def test_grep_per_block_matches():
+    from repro.apps import grep as grep_mod
+
+    vec, ref = _with_and_without_numpy(
+        grep_mod, lambda: grep_mod.GrepApp(scale=0.2))
+    assert [b.out_bytes for b in vec.blocks] == \
+        [b.out_bytes for b in ref.blocks]
+    assert [b.handler_cycles for b in vec.blocks] == \
+        [b.handler_cycles for b in ref.blocks]
+
+
+def test_sort_owner_counts_limb_math():
+    """The uint64 limb evaluation of ``(key * p) >> 80`` is exact."""
+    from repro.apps import sort as sort_mod
+    from repro.workloads import datamation
+
+    keys = datamation.generate_keys(4096, seed=7)
+    for num_nodes in (2, 3, 4, 7, 64, 4096):
+        vec = sort_mod._block_owner_counts(keys, 128, num_nodes)
+        original = sort_mod._np
+        try:
+            sort_mod._np = None
+            ref = sort_mod._block_owner_counts(keys, 128, num_nodes)
+        finally:
+            sort_mod._np = original
+        assert vec == ref, f"owner counts diverge for p={num_nodes}"
+
+
+def test_sort_overflow_guard_falls_back():
+    """Past 4096 nodes the limb bound no longer holds; the helper must
+    use the big-int loop rather than risk silent wraparound."""
+    from repro.apps import sort as sort_mod
+    from repro.workloads import datamation
+
+    keys = datamation.generate_keys(512, seed=3)
+    vec = sort_mod._block_owner_counts(keys, 64, 5000)
+    original = sort_mod._np
+    try:
+        sort_mod._np = None
+        ref = sort_mod._block_owner_counts(keys, 64, 5000)
+    finally:
+        sort_mod._np = original
+    assert vec == ref
+
+
+def test_tar_header_counts():
+    """Tar vectorises header bucketing inside run_normal — compare the
+    whole simulated case across the two paths."""
+    from repro.apps import tar as tar_mod
+
+    def run():
+        app = tar_mod.TarApp(scale=0.1)
+        config = app.cluster_config().with_case(active=False,
+                                                prefetch=False)
+        return app.run_case(config)
+
+    vec, ref = _with_and_without_numpy(tar_mod, run)
+    assert vec == ref

@@ -25,7 +25,8 @@ LINKED_DOCS = sorted(
 EXECUTABLE_DOCS = [REPO / "docs" / "tutorial.md",
                    REPO / "docs" / "observability.md",
                    REPO / "docs" / "topologies.md",
-                   REPO / "docs" / "traffic.md"]
+                   REPO / "docs" / "traffic.md",
+                   REPO / "docs" / "scaling.md"]
 
 _LINK = re.compile(r"\[[^\]]+\]\(([^)#\s]+)(?:#[^)\s]*)?\)")
 _FENCE = re.compile(r"```python\n(.*?)```", re.DOTALL)
