@@ -96,15 +96,17 @@ from .runner import (
 from .sim import Environment, Tracer
 from .switch import ActiveSwitch, ActiveSwitchConfig, BaseSwitch
 from .traffic import (
+    KneeSearch,
     ServiceResult,
     ServiceSpec,
     ServiceSweep,
+    find_knee,
     make_service_spec,
     serve,
     sweep_offered_load,
 )
 
-__version__ = "1.6.0"
+__version__ = "1.7.0"
 
 #: Authoritative public surface: `import *`, the docs' API reference,
 #: and tests/test_public_api.py all derive from this list.
@@ -120,6 +122,8 @@ __all__ = [
     "ServiceSpec",
     "ServiceResult",
     "ServiceSweep",
+    "KneeSearch",
+    "find_knee",
     "make_service_spec",
     "sweep_offered_load",
     # Harness building blocks

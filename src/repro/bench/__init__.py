@@ -284,6 +284,91 @@ def run_service_bench(specs=None, progress=None,
 
 
 # ----------------------------------------------------------------------
+# Sweep cells: adaptive knee search vs the fixed grid (PR 10 onward)
+# ----------------------------------------------------------------------
+def sweep_grid():
+    """The knee-search cells the bench times.
+
+    The active-case specs of the ``ext_service_slo`` experiment — one
+    per topology — probed over that experiment's 16-point rate grid.
+    Short durations keep a 16-sim exhaustive grid affordable inside a
+    bench run while the knee still lands mid-grid, so the bisection
+    does real work rather than falling off either end.
+    """
+    from ..experiments.service_slo import RATES, TOPOLOGIES, _base_spec
+
+    return tuple((_base_spec("active", topology, hosts), RATES)
+                 for topology, hosts in TOPOLOGIES)
+
+
+def sweep_cell_key(spec) -> str:
+    key = f"sweep:{spec.label}"
+    if spec.topology != "single":
+        key += f" hosts={spec.hosts}"
+    return key
+
+
+def run_sweep_bench(cells_in=None, progress=None) -> dict:
+    """Time the adaptive knee search against the exhaustive grid.
+
+    Methodology matches :func:`run_service_bench`: warming the template
+    caches (built app, system template, fabric hop walk) is the
+    separately-timed ``prepare_s``; ``wall_s`` covers exactly one
+    adaptive :func:`~repro.traffic.find_knee` call, ``grid_wall_s`` one
+    exhaustive ``mode="grid"`` call over the same rates.  No result
+    cache — a cache hit measures nothing.  Every cell *verifies both
+    modes return the same knee* before reporting, so each committed
+    snapshot re-proves the equivalence the speedup rests on, and
+    records the simulation counts behind it (``sims`` vs
+    ``grid_sims``).
+    """
+    from ..traffic.sweep import find_knee
+
+    if cells_in is None:
+        cells_in = sweep_grid()
+    cells: Dict[str, dict] = {}
+    apps: Dict[str, dict] = {}
+    for spec, rates in cells_in:
+        key = sweep_cell_key(spec)
+        t0 = time.perf_counter()
+        # One throwaway probe warms every per-process template cache
+        # (built app, system template, hop walk) so neither timed mode
+        # is billed for one-time construction the other then reuses.
+        find_knee(spec, [rates[0]], mode="grid")
+        prepare_s = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        adaptive = find_knee(spec, rates, mode="adaptive")
+        wall_s = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        grid = find_knee(spec, rates, mode="grid")
+        grid_wall_s = time.perf_counter() - t0
+        counters = ("sims", "evaluations")
+        if ({k: v for k, v in adaptive.knee().items() if k not in counters}
+                != {k: v for k, v in grid.knee().items() if k not in counters}):
+            raise RuntimeError(  # pragma: no cover - equivalence bug
+                f"{key}: adaptive and grid knees disagree")
+        cells[key] = {
+            "wall_s": round(wall_s, 6),
+            "grid_wall_s": round(grid_wall_s, 6),
+            "speedup_vs_grid": round(grid_wall_s / wall_s, 4),
+            "sims": adaptive.sims,
+            "grid_sims": grid.sims,
+            "knee_rps": adaptive.knee_rps,
+            "max_sustainable_rps":
+                adaptive.best.rate_rps if adaptive.best else None,
+        }
+        apps[key] = {
+            "prepare_s": round(prepare_s, 6),
+            "wall_s": round(wall_s, 6),
+        }
+        if progress is not None:
+            progress(f"{key}: {wall_s:.2f}s adaptive ({adaptive.sims} sims), "
+                     f"{grid_wall_s:.2f}s grid ({grid.sims} sims, "
+                     f"{grid_wall_s / wall_s:.1f}x)")
+    return {"cells": cells, "apps": apps}
+
+
+# ----------------------------------------------------------------------
 # Snapshot files
 # ----------------------------------------------------------------------
 def make_document(measurements: dict, *, bench_id: int,
@@ -373,8 +458,8 @@ def compare(current: dict, baseline: dict,
     Quick and full snapshots run the grid at different workload scales,
     so their grid walls are not comparable even where labels match;
     when the two flavors differ only the scale-independent open-loop
-    ``serve:*`` cells (fixed specs on every flavor) are compared, and a
-    warning records the restriction.
+    ``serve:*`` / ``sweep:*`` cells (fixed specs on every flavor) are
+    compared, and a warning records the restriction.
     """
     if threshold < 0:
         raise ValueError(f"threshold must be >= 0, got {threshold}")
@@ -383,10 +468,11 @@ def compare(current: dict, baseline: dict,
     warnings: List[str] = []
     comparable = lambda label: True
     if bool(current.get("quick")) != bool(baseline.get("quick")):
-        comparable = lambda label: label.startswith("serve:")
+        comparable = lambda label: label.startswith(("serve:", "sweep:"))
         warnings.append(
             "flavor mismatch (quick vs full): grid cells run at "
-            "different workload scales, comparing only serve:* cells")
+            "different workload scales, comparing only serve:* and "
+            "sweep:* cells")
     for label in sorted(label for label
                         in set(current["apps"]) & set(baseline["apps"])
                         if comparable(label)):
@@ -441,6 +527,7 @@ __all__ = [
     "CACHE_LEVELS", "QUICK_APPS", "QUICK_SCALE", "SERVICE_REPEATS",
     "compare", "comparison_table", "existing_bench_ids", "load",
     "make_document", "next_bench_id", "previous_bench_path",
-    "quick_grid", "run_bench", "run_service_bench", "save",
-    "service_cell_key", "service_grid",
+    "quick_grid", "run_bench", "run_service_bench", "run_sweep_bench",
+    "save", "service_cell_key", "service_grid", "sweep_cell_key",
+    "sweep_grid",
 ]

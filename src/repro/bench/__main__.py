@@ -15,7 +15,8 @@ import sys
 from ..runner.harness import CASE_LABELS
 from ..runner.spec import DEFAULT_SCALES, make_spec, paper_grid
 from . import (compare, comparison_table, load, make_document, next_bench_id,
-               previous_bench_path, quick_grid, run_bench, run_service_bench)
+               previous_bench_path, quick_grid, run_bench, run_service_bench,
+               run_sweep_bench)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -89,6 +90,19 @@ def main(argv=None) -> int:
         # They run first, before the grid has churned the heap — their
         # walls are small enough for allocator noise to matter.
         services = run_service_bench(progress=progress)
+        # The sweep:* cells (adaptive vs exhaustive knee search on the
+        # ext_service_slo topologies) ride along under the same rule.
+        sweeps = run_sweep_bench(progress=progress)
+        services["cells"].update(sweeps["cells"])
+        services["apps"].update(sweeps["apps"])
+        # The knee searches leave warm template caches (built apps,
+        # hop walks) alive; drop them so the grid cells below time
+        # against the same heap state as a grid-only run.
+        import gc
+
+        from ..cluster.template import clear_templates
+        clear_templates()
+        gc.collect()
     measurements = run_bench(specs, cases=cases, seed=args.seed,
                              progress=progress)
     if services is not None:

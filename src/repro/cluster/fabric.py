@@ -215,6 +215,26 @@ class Fabric:
                     f"{current.name} routes {dst} off-fabric via {neighbor}")
             current = nxt
 
+    def client_hops(self, server_index: int = 0) -> List[int]:
+        """Per-host switch-hop counts to the serving host.
+
+        One entry per host, in host order: the number of switches a
+        request from that host traverses to reach
+        ``hosts[server_index]``, walking the real routing tables (ECMP
+        included) via :meth:`path`.  The serving host itself counts its
+        own leaf (one hop), matching the single-switch base case.  Pure
+        data — the service layer caches it per topology shape
+        (:func:`repro.cluster.template.client_hops`).
+        """
+        server = self.hosts[server_index].name
+        hops: List[int] = []
+        for index, host in enumerate(self.hosts):
+            if index == server_index:
+                hops.append(1)
+            else:
+                hops.append(len(self.path(host.name, server)))
+        return hops
+
     # -- fail-stop management plane ------------------------------------
     @property
     def links(self) -> Dict[str, Link]:

@@ -77,6 +77,14 @@ class PlacementPlan:
     def instances(self) -> int:
         return len(self.placements)
 
+    def copy(self) -> "PlacementPlan":
+        """An independent plan: fresh dicts around the (frozen, safely
+        shared) :class:`Placement` entries, so a cached plan handed to
+        multiple callers can never alias their mutations."""
+        return PlacementPlan(policy=self.policy, root=self.root,
+                             placements=dict(self.placements),
+                             entry=dict(self.entry))
+
     def levels_used(self) -> List[int]:
         return sorted({p.level for p in self.placements.values()})
 

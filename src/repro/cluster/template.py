@@ -1,0 +1,223 @@
+"""Process-wide caches for the config-pure parts of run construction.
+
+Profiling the sweep layer showed that most of a small service point's
+wall-clock goes to work that is a *pure function of the configuration*,
+re-done for every point and every case:
+
+* building the application (workload generation: ``grep``'s corpus,
+  ``select``'s table, ``md5``'s input) — identical for all four cases
+  of a cell and every rate point of a sweep;
+* walking a freshly wired fabric's routing tables for the client hop
+  counts (~0.9 s cold for a 1024-host tree) — identical for every rate
+  point and both service cases;
+* planning handler placement — pure data derived from the topology
+  spec;
+* resolving the :class:`~repro.cluster.System` switch configuration
+  (the port bump) and node layout.
+
+This module holds one per-process cache for each.  Workers in the warm
+pool (:mod:`repro.runner.pool`) keep these caches alive across tasks,
+so the second point a worker simulates skips all of the above.
+
+Correctness: every cache is keyed by frozen, value-equal inputs
+(:class:`~repro.runner.AppSpec`, :class:`ClusterConfig`,
+:class:`~repro.cluster.fabric.TopologySpec`), every cached value is
+either immutable, copied on the way out (placement plans), or already
+shared by the established reuse precedent (app instances — the bench
+harness has always reused one app across all four cases and proven
+bit-identity against cold builds).  ``tests/cluster/test_template.py``
+proves template-reused runs equal cold-built runs for every registered
+app on both simulation paths.  Unhashable inputs (e.g. a config
+carrying a mutable fault plan) bypass the caches and build cold.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, replace
+from typing import Dict, List, Optional, Tuple
+
+#: Built applications kept per process (workload memory is the limit;
+#: a paper-scale corpus is a few MB, so a handful is plenty).
+_APP_CACHE_MAX = 8
+
+_APP_CACHE: "OrderedDict" = OrderedDict()
+_HOPS_CACHE: Dict[Tuple[str, int], Tuple[int, ...]] = {}
+_PLAN_CACHE: Dict[tuple, object] = {}
+_SYSTEM_TEMPLATES: Dict[object, "SystemTemplate"] = {}
+
+_STATS = {"app_hits": 0, "app_misses": 0,
+          "hops_hits": 0, "hops_misses": 0,
+          "plan_hits": 0, "plan_misses": 0,
+          "system_hits": 0, "system_misses": 0,
+          "bypasses": 0}
+
+
+# ----------------------------------------------------------------------
+# Built applications
+# ----------------------------------------------------------------------
+def cached_app(spec):
+    """The built application for an :class:`~repro.runner.AppSpec`.
+
+    One build per process per spec content: the four cases of a grid
+    cell, every rate point of a sweep, and every repeat of a bench cell
+    share the instance.  Apps are read-only at simulation time (each
+    ``run_case``/service run builds its own System and workload state),
+    so sharing is bit-identical to cold builds — proven by
+    ``tests/cluster/test_template.py``.
+    """
+    try:
+        app = _APP_CACHE.get(spec)
+    except TypeError:
+        _STATS["bypasses"] += 1
+        return spec.build()
+    if app is not None:
+        _STATS["app_hits"] += 1
+        _APP_CACHE.move_to_end(spec)
+        return app
+    _STATS["app_misses"] += 1
+    app = spec.build()
+    _APP_CACHE[spec] = app
+    while len(_APP_CACHE) > _APP_CACHE_MAX:
+        _APP_CACHE.popitem(last=False)
+    return app
+
+
+def cached_service_app(spec):
+    """The ``(app_spec, app)`` pair a :class:`ServiceSpec` runs against.
+
+    Service specs at different offered rates (or different seeds,
+    durations, SLOs...) share one built app: only the app name, preset,
+    overrides, and scale reach workload generation.
+    """
+    from ..runner.spec import make_spec
+
+    app_spec = make_spec(spec.app, preset=spec.preset,
+                         overrides=dict(spec.overrides), scale=spec.scale)
+    return app_spec, cached_app(app_spec)
+
+
+# ----------------------------------------------------------------------
+# Fabric-derived client hop counts
+# ----------------------------------------------------------------------
+def client_hops(kind: str, hosts: int) -> List[int]:
+    """Switch hops from each host to ``host0`` (the serving host).
+
+    Computed once per (kind, hosts) by wiring the real fabric — routing
+    tables, ECMP groups included — and walking its paths; every rate
+    point and both service cases then share the pure-data hop list.
+    """
+    if kind == "single" or hosts <= 1:
+        return [1] * max(hosts, 1)
+    key = (kind, hosts)
+    hops = _HOPS_CACHE.get(key)
+    if hops is None:
+        _STATS["hops_misses"] += 1
+        from ..sim.core import Environment
+        from .fabric import TopologySpec, build_fabric
+        env = Environment()
+        fabric = build_fabric(env, TopologySpec(kind=kind, num_hosts=hosts))
+        hops = tuple(fabric.client_hops())
+        _HOPS_CACHE[key] = hops
+    else:
+        _STATS["hops_hits"] += 1
+    return list(hops)
+
+
+# ----------------------------------------------------------------------
+# Placement plans
+# ----------------------------------------------------------------------
+def placement_plan(fabric, policy: str, root: Optional[str] = None):
+    """A :class:`PlacementPlan` for ``fabric``, cached by topology spec.
+
+    ``plan_placement`` is a pure function of the fabric's wiring, which
+    is itself a pure function of its :class:`TopologySpec` — so plans
+    are keyed by ``(spec, policy, root)`` and shared across fabric
+    instances.  The returned plan is an independent copy (plans carry
+    mutable dicts); repair paths that re-plan around failures call
+    ``plan_placement`` directly and never see this cache.
+    """
+    from .placement import plan_placement
+
+    key = (fabric.spec, policy, root)
+    try:
+        plan = _PLAN_CACHE.get(key)
+    except TypeError:
+        _STATS["bypasses"] += 1
+        return plan_placement(fabric, policy, root=root)
+    if plan is None:
+        _STATS["plan_misses"] += 1
+        plan = plan_placement(fabric, policy, root=root)
+        _PLAN_CACHE[key] = plan
+    else:
+        _STATS["plan_hits"] += 1
+    return plan.copy()
+
+
+# ----------------------------------------------------------------------
+# System templates
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class SystemTemplate:
+    """The config-pure, immutable prefix of ``System`` construction.
+
+    Holds the resolved (port-bumped) switch configuration and the node
+    name layout; ports are implicit — hosts first, storage after, in
+    declaration order, exactly as ``System`` has always wired them.
+    """
+
+    switch_config: object
+    host_names: Tuple[str, ...]
+    storage_names: Tuple[str, ...]
+
+
+def build_system_template(config) -> "SystemTemplate":
+    """Derive a :class:`SystemTemplate` from a config (uncached)."""
+    needed_ports = config.num_hosts + config.num_storage
+    switch_config = config.switch
+    if needed_ports > switch_config.num_ports:
+        switch_config = replace(switch_config, num_ports=needed_ports)
+    return SystemTemplate(
+        switch_config=switch_config,
+        host_names=tuple(f"host{i}" for i in range(config.num_hosts)),
+        storage_names=tuple(f"storage{i}" for i in range(config.num_storage)))
+
+
+def system_template(config) -> "SystemTemplate":
+    """The cached :class:`SystemTemplate` for a ``ClusterConfig``.
+
+    ``ClusterConfig`` is frozen with value equality, so the dict lookup
+    is the whole cost of a hit; configs that fail to hash (mutable
+    fault plans) are derived cold, which is always correct.
+    """
+    try:
+        template = _SYSTEM_TEMPLATES.get(config)
+    except TypeError:
+        _STATS["bypasses"] += 1
+        return build_system_template(config)
+    if template is None:
+        _STATS["system_misses"] += 1
+        template = build_system_template(config)
+        _SYSTEM_TEMPLATES[config] = template
+    else:
+        _STATS["system_hits"] += 1
+    return template
+
+
+# ----------------------------------------------------------------------
+# Lifecycle (tests, memory pressure)
+# ----------------------------------------------------------------------
+def clear_templates() -> None:
+    """Drop every per-process template cache (cold-build from here)."""
+    _APP_CACHE.clear()
+    _HOPS_CACHE.clear()
+    _PLAN_CACHE.clear()
+    _SYSTEM_TEMPLATES.clear()
+
+
+def template_stats() -> Dict[str, int]:
+    """Hit/miss counters plus current cache sizes (diagnostics)."""
+    stats = dict(_STATS)
+    stats.update(apps=len(_APP_CACHE), hops=len(_HOPS_CACHE),
+                 plans=len(_PLAN_CACHE), systems=len(_SYSTEM_TEMPLATES))
+    return stats

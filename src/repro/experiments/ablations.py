@@ -47,9 +47,12 @@ from ..switch import ActiveSwitch, ActiveSwitchConfig
 def ablate_cut_through(scale: float = 1.0) -> Dict[str, float]:
     """Grep 'active' case with and without valid-bit overlap."""
     times = {}
+    # One workload, both configurations: run_case rebuilds all mutable
+    # simulation state per call, so app reuse is bit-identical to
+    # fresh builds (tests/cluster/test_template.py).
+    app = GrepApp(scale=scale)
     for cut_through, label in ((True, "cut-through"),
                                (False, "store-and-forward")):
-        app = GrepApp(scale=scale)
         config = replace(
             app.cluster_config().with_case(active=True, prefetch=False),
             cut_through=cut_through)
@@ -86,8 +89,8 @@ def ablate_clock_ratio(scale: float = 0.5,
                        freqs=(250e6, 500e6, 1e9, 2e9)) -> List[dict]:
     """active+pref vs normal+pref speedup as the embedded core speeds up."""
     rows = []
+    app = Md5App(scale=scale, num_switch_cpus=1)
     for freq in freqs:
-        app = Md5App(scale=scale, num_switch_cpus=1)
         base = app.cluster_config()
         normal = app.run_case(base.with_case(active=False, prefetch=True))
         active_config = replace(
@@ -252,19 +255,18 @@ def ablate_storage_scaling(scale: float = 0.5,
     """
     from ..io.disk import DiskConfig
     rows = []
+    app = GrepApp(scale=scale)
     for multiplier in multipliers:
         disk = DiskConfig(
             bandwidth_bytes_per_s=50e6 * multiplier)
-        app_n = GrepApp(scale=scale)
         config_n = replace(
-            app_n.cluster_config().with_case(active=False, prefetch=True),
+            app.cluster_config().with_case(active=False, prefetch=True),
             disk=disk)
-        normal = app_n.run_case(config_n)
-        app_a = GrepApp(scale=scale)
+        normal = app.run_case(config_n)
         config_a = replace(
-            app_a.cluster_config().with_case(active=True, prefetch=True),
+            app.cluster_config().with_case(active=True, prefetch=True),
             disk=disk)
-        active = app_a.run_case(config_a)
+        active = app.run_case(config_a)
         switch_busy = (active.switch_cpus[0].busy_frac
                        if active.switch_cpus else 0.0)
         rows.append({

@@ -21,7 +21,8 @@ Run the whole paper grid from the shell::
 """
 
 from .api import RunResult, configure, run, run_many
-from .cache import ResultCache, decode_case, default_cache_dir, encode_case
+from .cache import (ResultCache, decode_case, default_cache_dir,
+                    encode_case, resolve_cache)
 from .fingerprint import FingerprintError, canonicalize, code_version, fingerprint
 from .options import RunOptions, make_run_options
 from .harness import (
@@ -33,6 +34,7 @@ from .harness import (
     cell_key,
     run_cell,
 )
+from .pool import WorkerPool, shared_pool, shutdown_shared_pool
 from .progress import CellEvent, Progress, make_progress
 from .spec import APP_REGISTRY, AppSpec, make_spec, paper_grid, register_app
 
@@ -49,6 +51,7 @@ __all__ = [
     "RunOptions",
     "RunResult",
     "RunnerError",
+    "WorkerPool",
     "canonicalize",
     "cell_config",
     "cell_key",
@@ -63,7 +66,10 @@ __all__ = [
     "make_spec",
     "paper_grid",
     "register_app",
+    "resolve_cache",
     "run",
     "run_cell",
     "run_many",
+    "shared_pool",
+    "shutdown_shared_pool",
 ]

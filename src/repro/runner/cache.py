@@ -38,6 +38,24 @@ def default_cache_dir() -> Path:
     return Path(os.environ.get(CACHE_DIR_ENV, DEFAULT_CACHE_DIR))
 
 
+def resolve_cache(cache) -> Optional["ResultCache"]:
+    """Normalize every caller-facing ``cache=`` spelling to a store.
+
+    ``None``/``False`` mean no cache; ``True`` means the default
+    directory (:func:`default_cache_dir`); a :class:`ResultCache`
+    passes through; anything else is treated as a directory path.
+    Shared by ``repro.run``, ``repro.serve``, the offered-load sweeps,
+    and the adaptive knee search, so one spelling works everywhere.
+    """
+    if cache is None or cache is False:
+        return None
+    if cache is True:
+        return ResultCache(default_cache_dir())
+    if isinstance(cache, ResultCache):
+        return cache
+    return ResultCache(cache)
+
+
 # ----------------------------------------------------------------------
 # Lossless CaseResult codec
 # ----------------------------------------------------------------------

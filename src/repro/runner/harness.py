@@ -23,7 +23,6 @@ the cache path reconstruct results through the same exact decoder.
 
 from __future__ import annotations
 
-import multiprocessing
 import os
 import time
 import traceback
@@ -31,8 +30,9 @@ from dataclasses import dataclass, replace
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from ..metrics.results import BenchmarkResult, CaseResult
-from .cache import ResultCache, decode_case, default_cache_dir, encode_case
+from .cache import ResultCache, decode_case, encode_case, resolve_cache
 from .fingerprint import FingerprintError, code_version, fingerprint
+from .pool import WorkerPool, shared_pool
 from .progress import CellEvent, Progress, make_progress
 from .spec import AppSpec, make_spec
 
@@ -74,7 +74,9 @@ def cell_config(cell: Cell, app=None):
 
 def run_cell(cell: Cell) -> CaseResult:
     """Simulate one cell from scratch (any process, any order)."""
-    app = cell.spec.build()
+    from ..cluster.template import cached_app
+
+    app = cached_app(cell.spec)
     return app.run_case(cell_config(cell, app))
 
 
@@ -101,10 +103,12 @@ def _execute_cell(payload: Tuple[int, Cell]):
     Results travel as the cache codec's JSON dicts so the parent
     reconstructs them with the same decoder used for cache hits.
     """
+    from ..cluster.template import cached_app
+
     index, cell = payload
     try:
         started = time.perf_counter()
-        app = cell.spec.build()
+        app = cached_app(cell.spec)
         config = cell_config(cell, app)
         case = app.run_case(config)
         elapsed = time.perf_counter() - started
@@ -124,25 +128,23 @@ class ExperimentRunner:
                  cache: Union[None, bool, str, "os.PathLike", ResultCache] = None,
                  progress: Optional[Progress] = None,
                  show_progress: bool = False,
-                 start_method: Optional[str] = None):
+                 start_method: Optional[str] = None,
+                 pool: Optional[WorkerPool] = None):
         if parallel < 1:
             raise ValueError(f"parallel must be >= 1, got {parallel}")
         self.parallel = parallel
-        self.cache = self._resolve_cache(cache)
+        self.cache = resolve_cache(cache)
         self._progress = progress
         self._show_progress = show_progress
         self._start_method = (start_method
                               or os.environ.get(START_METHOD_ENV, "spawn"))
+        #: Explicit pool injection (tests); ``None`` draws from the
+        #: process-wide warm pool (:func:`repro.runner.pool.shared_pool`).
+        self._pool = pool
 
-    @staticmethod
-    def _resolve_cache(cache) -> Optional[ResultCache]:
-        if cache is None or cache is False:
-            return None
-        if cache is True:
-            return ResultCache(default_cache_dir())
-        if isinstance(cache, ResultCache):
-            return cache
-        return ResultCache(cache)
+    #: Back-compat shim; the public spelling is
+    #: :func:`repro.runner.cache.resolve_cache`.
+    _resolve_cache = staticmethod(resolve_cache)
 
     # ------------------------------------------------------------------
     # Core engine
@@ -174,9 +176,11 @@ class ExperimentRunner:
         return results  # type: ignore[return-value]
 
     def _run_serial(self, pending, cells, results, progress) -> None:
+        from ..cluster.template import cached_app
+
         for index, cell in pending:
             started = time.perf_counter()
-            app = cell.spec.build()
+            app = cached_app(cell.spec)
             config = cell_config(cell, app)
             case = app.run_case(config)
             elapsed = time.perf_counter() - started
@@ -189,20 +193,20 @@ class ExperimentRunner:
             self._record(progress, index, cell, case, elapsed, False)
 
     def _run_pool(self, pending, cells, results, progress) -> None:
-        context = multiprocessing.get_context(self._start_method)
         workers = min(self.parallel, len(pending))
-        with context.Pool(processes=workers) as pool:
-            outcomes = pool.imap_unordered(_execute_cell, pending, chunksize=1)
-            for status, index, payload, elapsed, config_print in outcomes:
-                cell = cells[index]
-                if status != "ok":
-                    raise RunnerError(
-                        f"cell {cell.spec.label}/{cell.case} failed in a "
-                        f"worker:\n{payload}")
-                case = decode_case(payload)
-                self._store(cell, case, elapsed, config_print)
-                results[index] = case
-                self._record(progress, index, cell, case, elapsed, False)
+        pool = self._pool if self._pool is not None \
+            else shared_pool(workers, self._start_method)
+        outcomes = pool.imap_unordered(_execute_cell, pending)
+        for status, index, payload, elapsed, config_print in outcomes:
+            cell = cells[index]
+            if status != "ok":
+                raise RunnerError(
+                    f"cell {cell.spec.label}/{cell.case} failed in a "
+                    f"worker:\n{payload}")
+            case = decode_case(payload)
+            self._store(cell, case, elapsed, config_print)
+            results[index] = case
+            self._record(progress, index, cell, case, elapsed, False)
 
     def _store(self, cell: Cell, case: CaseResult, elapsed: float,
                config_print: Optional[str] = None) -> None:

@@ -5,9 +5,10 @@ them — deterministic arrival generators drive thousands of logical
 client streams through an HCA admission queue into the simulated
 cluster, and every request's latency lands in mergeable streaming
 quantile sketches.  ``repro.serve()`` runs one configuration;
-:func:`sweep_offered_load` locates a configuration's saturation knee
-and max sustainable RPS under an SLO (the ``ext_service_slo``
-experiment).
+:func:`sweep_offered_load` runs a fixed offered-rate grid, and
+:func:`find_knee` locates a configuration's saturation knee and max
+sustainable RPS under an SLO in O(log) simulations (the
+``ext_service_slo`` experiment).
 
 See docs/traffic.md for the tutorial and docs/api.md for the typed
 front-door contract.
@@ -17,7 +18,8 @@ from .admission import ADMISSION_POLICIES, CLOSED, AdmissionQueue
 from .arrivals import ARRIVAL_KINDS, Arrival, generate_schedule
 from .service import (SERVICE_CASES, ServiceResult, ServiceSpec,
                       make_service_spec, serve, service_key)
-from .sweep import ServiceSweep, sweep_offered_load
+from .sweep import (GOODPUT_TOLERANCE, KNEE_MODES, KneeSearch,
+                    ServiceSweep, find_knee, sweep_offered_load)
 
 __all__ = [
     "ADMISSION_POLICIES",
@@ -25,10 +27,14 @@ __all__ = [
     "AdmissionQueue",
     "Arrival",
     "CLOSED",
+    "GOODPUT_TOLERANCE",
+    "KNEE_MODES",
+    "KneeSearch",
     "SERVICE_CASES",
     "ServiceResult",
     "ServiceSpec",
     "ServiceSweep",
+    "find_knee",
     "generate_schedule",
     "make_service_spec",
     "serve",

@@ -37,11 +37,10 @@ from __future__ import annotations
 from dataclasses import dataclass, field, fields, replace
 from typing import Dict, List, Optional, Tuple
 
-from ..cluster.fabric import TOPOLOGY_KINDS, TopologySpec, build_fabric
+from ..cluster.fabric import TOPOLOGY_KINDS
 from ..metrics.report import Report
 from ..metrics.sampling import QuantileEstimator
 from ..net.packet import HEADER_BYTES
-from ..sim.core import Environment
 from ..sim.resources import Resource
 from ..sim.units import transfer_ps
 from .admission import ADMISSION_POLICIES, CLOSED, AdmissionQueue
@@ -239,25 +238,15 @@ class ServiceResult:
 # ----------------------------------------------------------------------
 # Topology-derived client path lengths
 # ----------------------------------------------------------------------
-#: (kind, hosts) -> per-host switch-hop count, computed once per process
-#: by walking the real fabric routing tables.
-_HOPS_CACHE: Dict[Tuple[str, int], List[int]] = {}
-
-
 def _client_hops(kind: str, hosts: int) -> List[int]:
-    """Switch hops from each host to ``host0`` (the serving host)."""
-    if kind == "single" or hosts <= 1:
-        return [1] * max(hosts, 1)
-    key = (kind, hosts)
-    if key not in _HOPS_CACHE:
-        env = Environment()
-        fabric = build_fabric(env, TopologySpec(kind=kind, num_hosts=hosts))
-        server = fabric.hosts[0].name
-        hops = [1]
-        for host in fabric.hosts[1:]:
-            hops.append(len(fabric.path(host.name, server)))
-        _HOPS_CACHE[key] = hops
-    return _HOPS_CACHE[key]
+    """Switch hops from each host to ``host0`` (the serving host).
+
+    Delegates to the per-process template cache
+    (:func:`repro.cluster.template.client_hops`), which wires the real
+    fabric once per (kind, hosts) and walks its routing tables.
+    """
+    from ..cluster.template import client_hops
+    return client_hops(kind, hosts)
 
 
 # ----------------------------------------------------------------------
@@ -290,17 +279,21 @@ def _simulate(spec: ServiceSpec, trace=None, prebuilt=None) -> ServiceResult:
     """One deterministic open-loop run (the serial reference path).
 
     ``prebuilt`` optionally supplies the ``(app_spec, app)`` pair from
-    :func:`build_service_app`; the simulation itself is identical.
+    :func:`build_service_app`; otherwise the per-process template cache
+    serves it, so sweep points at different rates share one built app.
+    The simulation itself is identical either way.
     """
+    from ..cluster.template import cached_service_app, system_template
+
     app_spec, app = (prebuilt if prebuilt is not None
-                     else build_service_app(spec))
+                     else cached_service_app(spec))
     config = app_spec.base_config(app)
     config = replace(config, seed=spec.seed)
     config = config.with_case(active=(spec.case == "active"),
                               prefetch=False)
 
     from ..cluster.system import System
-    system = System(config)
+    system = System(config, template=system_template(config))
     env = system.env
     if trace is not None:
         system.attach_trace(trace)
@@ -595,8 +588,8 @@ def serve(app="grep", *, cache=None, trace=None, **params) -> ServiceResult:
     spec = make_service_spec(app, **params)
     if trace is not None:
         return _simulate(spec, trace=trace)
-    from ..runner.harness import ExperimentRunner
-    store = ExperimentRunner._resolve_cache(cache)
+    from ..runner.cache import resolve_cache
+    store = resolve_cache(cache)
     if store is None:
         return _simulate(spec)
     key = service_key(spec)

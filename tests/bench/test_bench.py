@@ -11,7 +11,8 @@ import json
 import pytest
 
 from repro.bench import (compare, load, previous_bench_path, save,
-                         service_cell_key, service_grid)
+                         service_cell_key, service_grid, sweep_cell_key,
+                         sweep_grid)
 
 
 def _doc(quick, apps, cells=None, bench_id=1):
@@ -87,6 +88,34 @@ def test_service_grid_keys_are_unique():
     # carry it.
     assert any("hosts=16" in key for key in keys)
     assert any("hosts=64" in key for key in keys)
+
+
+def test_compare_flavor_mismatch_keeps_sweep_cells():
+    baseline = _doc(False, {"grep": 0.1, "sweep:grep:x": 1.0})
+    current = _doc(True, {"grep": 5.0, "sweep:grep:x": 1.1})
+    verdict = compare(current, baseline, threshold=0.30)
+    assert verdict["ok"]
+    assert list(verdict["apps"]) == ["sweep:grep:x"]
+
+
+def test_sweep_grid_keys_are_unique():
+    keys = [sweep_cell_key(spec) for spec, _rates in sweep_grid()]
+    assert len(keys) == len(set(keys))
+    assert all(key.startswith("sweep:") for key in keys)
+
+
+def test_committed_snapshot_documents_sweep_speedup():
+    """BENCH_10.json carries the adaptive-knee acceptance numbers: every
+    sweep:* cell re-ran the exhaustive grid reference, proved the knees
+    equal, and must document >=3x fewer service simulations (see
+    docs/performance.md)."""
+    doc = load("BENCH_10.json")
+    sweeps = {k: v for k, v in doc["cells"].items()
+              if k.startswith("sweep:")}
+    assert len(sweeps) == 3
+    for key, cell in sweeps.items():
+        assert cell["grid_sims"] / cell["sims"] >= 3.0, (key, cell)
+        assert cell["wall_s"] < cell["grid_wall_s"], (key, cell)
 
 
 def test_committed_snapshot_documents_service_speedup():
